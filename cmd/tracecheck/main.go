@@ -1,0 +1,117 @@
+// Command tracecheck verifies the consistency of the global checkpoints
+// recorded in a trace file (JSON Lines, as written by ckptsim -trace-out).
+//
+// For every checkpoint sequence number that has a cut event on all N
+// processes, it reports whether the cut is consistent (no orphan
+// messages) and how many messages were in flight across it.
+//
+// Usage:
+//
+//	ckptsim -proto ocsml -n 6 -steps 500 -trace-out run.jsonl
+//	tracecheck -n 6 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ocsml/internal/trace"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 0, "number of processes (required)")
+		kind = flag.String("kind", "auto", "cut event kind: finalize|checkpoint|auto")
+	)
+	flag.Parse()
+	if *n < 2 || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -n <procs> <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d events, %s\n", len(events), trace.Summarize(events))
+
+	cutKind := trace.KFinalize
+	switch *kind {
+	case "finalize":
+	case "checkpoint":
+		cutKind = trace.KCheckpoint
+	case "auto":
+		fin := 0
+		for _, e := range events {
+			if e.Kind == trace.KFinalize {
+				fin++
+			}
+		}
+		if fin == 0 {
+			cutKind = trace.KCheckpoint
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	// Collect candidate sequence numbers.
+	seqSet := map[int]bool{}
+	for _, e := range events {
+		if (e.Kind == cutKind || (cutKind == trace.KCheckpoint && e.Kind == trace.KForced)) && e.Seq > 0 {
+			seqSet[e.Seq] = true
+		}
+	}
+	if len(seqSet) == 0 {
+		fmt.Println("no checkpoint cut events in trace")
+		os.Exit(1)
+	}
+	maxSeq := 0
+	for s := range seqSet {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+
+	// A throwaway recorder re-hosting the events gives us CutAt.
+	rec := trace.NewRecorder()
+	for _, e := range events {
+		rec.Record(trace.Event{
+			T: e.T, Kind: e.Kind, Proc: e.Proc, Peer: e.Peer,
+			MsgID: e.MsgID, Seq: e.Seq, Tag: e.Tag,
+		})
+	}
+
+	bad := 0
+	for seq := 1; seq <= maxSeq; seq++ {
+		if !seqSet[seq] {
+			continue
+		}
+		cut, ok := rec.CutAt(*n, cutKind, seq)
+		if !ok {
+			fmt.Printf("S_%-3d incomplete (missing cut events on some processes)\n", seq)
+			continue
+		}
+		rep := rec.CheckCut(cut)
+		if rep.Consistent() {
+			fmt.Printf("S_%-3d consistent   in-flight=%d\n", seq, len(rep.InFlight))
+		} else {
+			bad++
+			fmt.Printf("S_%-3d INCONSISTENT orphans=%d in-flight=%d\n",
+				seq, len(rep.Orphans), len(rep.InFlight))
+			for _, o := range rep.Orphans {
+				fmt.Printf("      orphan msg %d: P%d -> P%d\n", o.MsgID, o.Src, o.Dst)
+			}
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

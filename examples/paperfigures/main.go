@@ -1,0 +1,154 @@
+// Paperfigures replays the paper's worked examples exactly and renders
+// ASCII space-time diagrams:
+//
+//   - Figure 1: a consistent cut S1 and an inconsistent cut S2 (orphan
+//     message M5), judged by the trace checker;
+//   - Figure 2: the basic algorithm on four processes — who takes and
+//     finalizes checkpoint 1 when, and what each message log contains;
+//   - Figure 5: a pattern where the basic algorithm cannot converge and
+//     the CK_BGN/CK_REQ/CK_END control round finishes the job.
+//
+// The same scenarios are locked down as tests (internal/core and
+// internal/trace); this binary makes them visible.
+//
+//	go run ./examples/paperfigures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/engine"
+	"ocsml/internal/netsim"
+	"ocsml/internal/protocol"
+	"ocsml/internal/trace"
+	"ocsml/internal/workload"
+)
+
+const ms = des.Millisecond
+
+// svgDir, when set, receives figure2.svg and figure5.svg renderings.
+var svgDir = flag.String("svg", "", "also write SVG diagrams into this directory")
+
+func main() {
+	flag.Parse()
+	figure1()
+	figure2()
+	figure5()
+}
+
+func writeSVG(name string, events []trace.Event, n int) {
+	if *svgDir == "" {
+		return
+	}
+	path := filepath.Join(*svgDir, name)
+	if err := os.WriteFile(path, []byte(trace.RenderSVG(events, n)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("(SVG written to %s)\n", path)
+}
+
+// figure1 builds the two cuts of paper Figure 1 directly on the checker.
+func figure1() {
+	fmt.Println("— Figure 1: consistent vs inconsistent global checkpoints —")
+	rec := trace.NewRecorder()
+	ev := func(k trace.Kind, proc, peer int, msg int64, seq int) int64 {
+		return rec.Record(trace.Event{Kind: k, Proc: proc, Peer: peer, MsgID: msg, Seq: seq})
+	}
+	// Pre-cut traffic, then S1 on all three processes, then M5 around S2.
+	ev(trace.KSend, 0, 1, 1, -1)
+	ev(trace.KRecv, 1, 0, 1, -1)
+	s1 := trace.NewCut(3)
+	s1.At[0] = ev(trace.KCheckpoint, 0, -1, 0, 1)
+	s1.At[1] = ev(trace.KCheckpoint, 1, -1, 0, 1)
+	s1.At[2] = ev(trace.KCheckpoint, 2, -1, 0, 1)
+
+	s2 := trace.NewCut(3)
+	s2.At[0] = ev(trace.KCheckpoint, 0, -1, 0, 2)
+	s2.At[1] = ev(trace.KCheckpoint, 1, -1, 0, 2) // P1 checkpoints BEFORE sending M5
+	ev(trace.KSend, 1, 2, 5, -1)                  // M5
+	ev(trace.KRecv, 2, 1, 5, -1)
+	s2.At[2] = ev(trace.KCheckpoint, 2, -1, 0, 2) // P2 checkpoints AFTER receiving M5
+
+	fmt.Print(trace.Render(rec.Events(), 3))
+	r1 := rec.CheckCut(s1)
+	r2 := rec.CheckCut(s2)
+	fmt.Printf("S1 consistent: %v\n", r1.Consistent())
+	fmt.Printf("S2 consistent: %v — orphan message(s): %d (M5: receive inside the cut, send outside)\n\n",
+		r2.Consistent(), len(r2.Orphans))
+}
+
+// scenario hosts scripted sends under OCSML with fixed 1ms latency.
+func scenario(opt core.Options, plans map[int][]workload.ScriptedSend, drain des.Duration) (*engine.Cluster, []*core.Protocol) {
+	cfg := engine.DefaultConfig()
+	cfg.N = 4
+	cfg.Seed = 1
+	cfg.Latency = netsim.Fixed{D: ms}
+	cfg.StateBytes = 1 << 20
+	cfg.CopyCost = 0
+	cfg.Drain = drain
+	protos := make([]*core.Protocol, cfg.N)
+	pf := func(i, n int) protocol.Protocol {
+		protos[i] = core.New(opt)
+		return protos[i]
+	}
+	return engine.New(cfg, pf, workload.ScriptedFactory(plans)), protos
+}
+
+func figure2() {
+	fmt.Println("— Figure 2: the basic algorithm on four processes —")
+	plans := map[int][]workload.ScriptedSend{
+		0: {{At: 20 * ms, Dst: 1, Bytes: 100}},
+		1: {{At: 40 * ms, Dst: 3, Bytes: 100}, {At: 45 * ms, Dst: 2, Bytes: 100}, {At: 100 * ms, Dst: 3, Bytes: 100}},
+		2: {{At: 55 * ms, Dst: 1, Bytes: 100}, {At: 80 * ms, Dst: 1, Bytes: 100}},
+		3: {{At: 60 * ms, Dst: 2, Bytes: 100}, {At: 120 * ms, Dst: 0, Bytes: 100}},
+	}
+	c, protos := scenario(core.Options{}, plans, 100*ms)
+	c.Sim.At(10*ms, protos[0].Initiate)
+	r := c.Run()
+
+	fmt.Print(trace.Render(r.Trace.Events(), 4))
+	fmt.Println("legend: [T1] tentative checkpoint, [F1] finalization (the cut point)")
+	for p := 0; p < 4; p++ {
+		rec, _ := r.Ckpts.Proc(p).Get(1)
+		fmt.Printf("P%d: C_{%d,1} finalized at %v, logSet = %d message(s)\n",
+			p, p, rec.FinalizedAt, len(rec.Log))
+	}
+	err := r.CheckGlobal(1)
+	fmt.Printf("S1 consistent: %v  (P2's log = {M6 sent, M5 received}, matching the paper)\n", err == nil)
+	writeSVG("figure2.svg", r.Trace.Events(), 4)
+	fmt.Println()
+}
+
+func figure5() {
+	fmt.Println("— Figure 5: convergence needs control messages —")
+	plans := map[int][]workload.ScriptedSend{
+		1: {{At: 10 * ms, Dst: 2, Bytes: 100}},
+		2: {{At: 20 * ms, Dst: 1, Bytes: 100}},
+		3: {{At: 30 * ms, Dst: 2, Bytes: 100}, {At: 40 * ms, Dst: 2, Bytes: 100}},
+	}
+	opt := core.Options{Timeout: 100 * ms, SuppressBGN: true, SkipREQ: true}
+	c, protos := scenario(opt, plans, 500*ms)
+	c.Sim.At(10*ms, protos[1].Initiate)
+	r := c.Run()
+
+	fmt.Print(trace.Render(r.Trace.Events(), 4))
+	fmt.Println("legend: cs/cr = control send/recv, B=CK_BGN Q=CK_REQ E=CK_END")
+	fmt.Printf("control traffic: CK_BGN=%d (P2 suppressed its own), CK_REQ=%d (P2's hop skipped), CK_END=%d\n",
+		r.Counter("ctl.CK_BGN"), r.Counter("ctl.CK_REQ"), r.Counter("ctl.CK_END"))
+	ok := true
+	for p := 0; p < 4; p++ {
+		if _, found := r.Ckpts.Proc(p).Get(1); !found {
+			ok = false
+		}
+	}
+	fmt.Printf("all four processes finalized checkpoint 1: %v\n", ok)
+	err := r.CheckGlobal(1)
+	fmt.Printf("S1 consistent: %v\n", err == nil)
+	writeSVG("figure5.svg", r.Trace.Events(), 4)
+}

@@ -1,0 +1,3 @@
+module ocsml
+
+go 1.24

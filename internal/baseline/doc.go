@@ -1,0 +1,12 @@
+// Package baseline groups the checkpointing algorithms the paper compares
+// against (and the null protocol): one subpackage per algorithm.
+//
+//	nop            no checkpointing (overhead baseline)
+//	chandylamport  coordinated snapshot, FIFO channels, write burst
+//	kootoueg       synchronous two-phase blocking checkpointing
+//	staggered      Vaidya/Plank-style staggered consistent checkpointing
+//	bcs            index-based communication-induced checkpointing (CIC)
+//	uncoord        fully asynchronous checkpointing (domino-prone)
+//
+// The cross-baseline behavioural tests live in this package.
+package baseline

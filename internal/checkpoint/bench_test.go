@@ -1,0 +1,41 @@
+package checkpoint
+
+import "testing"
+
+func BenchmarkFoldEvent(b *testing.B) {
+	var s uint64 = 12345
+	for i := 0; i < b.N; i++ {
+		s = FoldEvent(s, Sent, 3, 7, uint64(i), int64(i))
+	}
+	if s == 0 {
+		b.Fatal("degenerate fold")
+	}
+}
+
+func BenchmarkFoldLogReplay(b *testing.B) {
+	log := make([]LoggedMsg, 64)
+	for i := range log {
+		log[i] = LoggedMsg{
+			Dir: Direction(i % 2), Src: i % 8, Dst: (i + 1) % 8,
+			Tag: uint64(i) * 0x9e3779b97f4a7c15, AppSeq: int64(i),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FoldLog(uint64(i), log)
+	}
+}
+
+func BenchmarkProcStoreAddGet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ps := NewStore(1).Proc(0)
+		for seq := 0; seq < 32; seq++ {
+			ps.Add(Record{Tentative: Tentative{Proc: 0, Seq: seq}})
+		}
+		if _, ok := ps.Get(31); !ok {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"ocsml/internal/des"
+)
+
+func rec(proc, seq int, taken, fin des.Time) Record {
+	return Record{
+		Tentative:   Tentative{Proc: proc, Seq: seq, TakenAt: taken, StateBytes: 100},
+		FinalizedAt: fin,
+	}
+}
+
+func TestProcStoreOrdering(t *testing.T) {
+	s := NewStore(2)
+	ps := s.Proc(0)
+	ps.Add(rec(0, 1, 10, 20))
+	ps.Add(rec(0, 2, 30, 40))
+	if ps.Len() != 2 || ps.MaxSeq() != 2 {
+		t.Fatalf("Len=%d MaxSeq=%d", ps.Len(), ps.MaxSeq())
+	}
+	if _, ok := ps.Get(1); !ok {
+		t.Fatal("Get(1) missing")
+	}
+	if _, ok := ps.Get(3); ok {
+		t.Fatal("Get(3) should be absent")
+	}
+	r, ok := ps.Latest()
+	if !ok || r.Seq != 2 {
+		t.Fatalf("Latest = %+v", r)
+	}
+}
+
+func TestProcStoreRejectsOutOfOrder(t *testing.T) {
+	ps := NewStore(1).Proc(0)
+	ps.Add(rec(0, 2, 1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adding seq <= previous should panic")
+		}
+	}()
+	ps.Add(rec(0, 2, 3, 4))
+}
+
+func TestProcStoreRejectsWrongProc(t *testing.T) {
+	ps := NewStore(2).Proc(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adding another process's record should panic")
+		}
+	}()
+	ps.Add(rec(1, 1, 1, 2))
+}
+
+func TestGlobalAssembly(t *testing.T) {
+	s := NewStore(3)
+	for p := 0; p < 3; p++ {
+		s.Proc(p).Add(rec(p, 1, des.Time(p), des.Time(10+p)))
+	}
+	g, ok := s.Global(1)
+	if !ok {
+		t.Fatal("Global(1) should exist")
+	}
+	if len(g.Recs) != 3 || g.Recs[2].Proc != 2 {
+		t.Fatalf("bad global: %+v", g)
+	}
+	first, last := g.Span()
+	if first != 0 || last != 12 {
+		t.Fatalf("Span = (%v,%v), want (0,12)", first, last)
+	}
+	if _, ok := s.Global(2); ok {
+		t.Fatal("Global(2) should not exist")
+	}
+}
+
+func TestMaxCompleteSeq(t *testing.T) {
+	s := NewStore(3)
+	if s.MaxCompleteSeq() != -1 {
+		t.Fatal("empty store should report -1")
+	}
+	for p := 0; p < 3; p++ {
+		s.Proc(p).Add(rec(p, 0, 0, 1))
+		s.Proc(p).Add(rec(p, 1, 2, 3))
+	}
+	s.Proc(0).Add(rec(0, 2, 4, 5))
+	if got := s.MaxCompleteSeq(); got != 1 {
+		t.Fatalf("MaxCompleteSeq = %d, want 1", got)
+	}
+	seqs := s.CompleteSeqs()
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 1 {
+		t.Fatalf("CompleteSeqs = %v", seqs)
+	}
+}
+
+func TestMarkStableAndMaxStableSeq(t *testing.T) {
+	s := NewStore(2)
+	for p := 0; p < 2; p++ {
+		s.Proc(p).Add(rec(p, 0, 0, 1))
+		s.Proc(p).Add(rec(p, 1, 2, 3))
+	}
+	if s.MaxStableSeq() != -1 {
+		t.Fatal("nothing stable yet")
+	}
+	s.Proc(0).MarkStable(0, 5)
+	s.Proc(1).MarkStable(0, 6)
+	s.Proc(0).MarkStable(1, 7)
+	if got := s.MaxStableSeq(); got != 0 {
+		t.Fatalf("MaxStableSeq = %d, want 0", got)
+	}
+	s.Proc(1).MarkStable(1, 8)
+	if got := s.MaxStableSeq(); got != 1 {
+		t.Fatalf("MaxStableSeq = %d, want 1", got)
+	}
+	r, _ := s.Proc(1).Get(1)
+	if r.StableAt != 8 {
+		t.Fatalf("StableAt = %v, want 8", r.StableAt)
+	}
+}
+
+func TestLogBytesAndLatency(t *testing.T) {
+	r := rec(0, 1, 10, 25)
+	r.Log = []LoggedMsg{
+		{ID: 1, Bytes: 100, Dir: Sent},
+		{ID: 2, Bytes: 250, Dir: Received},
+	}
+	if r.LogBytes() != 350 {
+		t.Fatalf("LogBytes = %d", r.LogBytes())
+	}
+	if r.FinalizationLatency() != 15 {
+		t.Fatalf("FinalizationLatency = %v", r.FinalizationLatency())
+	}
+	g := Global{Seq: 1, Recs: []Record{r, rec(1, 1, 0, 0)}}
+	if g.LogBytes() != 350 {
+		t.Fatalf("global LogBytes = %d", g.LogBytes())
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Sent.String() != "sent" || Received.String() != "received" {
+		t.Fatal("Direction.String wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"ocsml/internal/des"
+)
+
+func stableRec(proc, seq int, state int64, logBytes int64) Record {
+	r := Record{
+		Tentative:   Tentative{Proc: proc, Seq: seq, StateBytes: state},
+		FinalizedAt: des.Time(seq),
+		StableAt:    des.Time(seq + 1),
+	}
+	if logBytes > 0 {
+		r.Log = []LoggedMsg{{ID: int64(seq), Bytes: logBytes}}
+	}
+	return r
+}
+
+func TestProcStoreGC(t *testing.T) {
+	ps := NewStore(1).Proc(0)
+	for seq := 0; seq <= 4; seq++ {
+		ps.Add(stableRec(0, seq, 100, 10))
+	}
+	if got := ps.RetainedBytes(); got != 5*110 {
+		t.Fatalf("RetainedBytes = %d", got)
+	}
+	removed, bytes := ps.GC(3)
+	if removed != 3 || bytes != 3*110 {
+		t.Fatalf("GC = (%d, %d)", removed, bytes)
+	}
+	if ps.Len() != 2 || ps.MaxSeq() != 4 {
+		t.Fatalf("after GC: len=%d max=%d", ps.Len(), ps.MaxSeq())
+	}
+	if _, ok := ps.Get(2); ok {
+		t.Fatal("collected record still readable")
+	}
+	if _, ok := ps.Get(3); !ok {
+		t.Fatal("kept record lost")
+	}
+	// GC below the retained range is a no-op.
+	if removed, _ := ps.GC(1); removed != 0 {
+		t.Fatal("second GC should remove nothing")
+	}
+	// Adding continues to work after GC.
+	ps.Add(stableRec(0, 5, 100, 0))
+	if ps.Len() != 3 {
+		t.Fatal("Add after GC broken")
+	}
+}
+
+func TestStoreGCKeepsCommittedLine(t *testing.T) {
+	// Seqs 0..3 everywhere, but P1's seq 3 never reached stable storage:
+	// the newest committed line is seq 2.
+	s := NewStore(2)
+	for p := 0; p < 2; p++ {
+		for seq := 0; seq <= 3; seq++ {
+			r := stableRec(p, seq, 100, 0)
+			if seq == 3 && p == 1 {
+				r.StableAt = 0
+			}
+			s.Proc(p).Add(r)
+		}
+	}
+	if got := s.MaxStableSeq(); got != 2 {
+		t.Fatalf("MaxStableSeq = %d, want 2", got)
+	}
+	removed, bytes := s.GC()
+	if removed != 4 || bytes != 400 { // seqs 0 and 1 on both processes
+		t.Fatalf("GC = (%d, %d)", removed, bytes)
+	}
+	if _, ok := s.Global(2); !ok {
+		t.Fatal("committed line must survive GC")
+	}
+	if s.RetainedBytes() != 400 {
+		t.Fatalf("RetainedBytes = %d", s.RetainedBytes())
+	}
+}
+
+func TestStoreGCWithoutStableLineIsNoop(t *testing.T) {
+	s := NewStore(2)
+	for p := 0; p < 2; p++ {
+		r := stableRec(p, 0, 100, 0)
+		r.StableAt = 1
+		s.Proc(p).Add(r)
+	}
+	if removed, _ := s.GC(); removed != 0 {
+		t.Fatal("GC with only the initial line should be a no-op")
+	}
+}

@@ -1,0 +1,104 @@
+package core_test
+
+// BSP (bulk-synchronous stencil) integration: the tightly coupled HPC
+// workload the paper's periodic checkpointing targets. Blocking
+// checkpoints propagate stalls through the barrier; OCSML does not.
+// Recovery must restore the barrier state correctly.
+
+import (
+	"testing"
+
+	"ocsml/internal/baseline/kootoueg"
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/engine"
+	"ocsml/internal/protocol"
+	"ocsml/internal/workload"
+)
+
+func bspRun(t *testing.T, pf engine.ProtoFactory, seed int64, fail *engine.FailurePlan) *engine.Result {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.N = 9 // 3x3 stencil
+	cfg.Seed = seed
+	cfg.StateBytes = 4 << 20
+	cfg.CopyCost = des.Millisecond
+	cfg.Drain = 10 * des.Second
+	wl := workload.Config{Steps: 150, Think: 10 * des.Millisecond, MsgBytes: 8 << 10}
+	c := engine.New(cfg, pf, workload.BSPFactory(wl))
+	if fail != nil {
+		c.InjectFailure(*fail)
+	}
+	r := c.Run()
+	if !r.Completed {
+		t.Fatal("BSP run did not complete")
+	}
+	return r
+}
+
+func ocsmlBSPFactory(protos []*core.Protocol) engine.ProtoFactory {
+	opt := core.DefaultOptions()
+	opt.Interval = des.Second
+	opt.Timeout = 400 * des.Millisecond
+	return func(i, n int) protocol.Protocol {
+		p := core.New(opt)
+		if protos != nil {
+			protos[i] = p
+		}
+		return p
+	}
+}
+
+func TestBSPUnderOCSML(t *testing.T) {
+	protos := make([]*core.Protocol, 9)
+	r := bspRun(t, ocsmlBSPFactory(protos), 1, nil)
+	if _, err := r.CheckAllGlobals(); err != nil {
+		t.Fatal(err)
+	}
+	if r.GlobalCheckpoints() < 2 {
+		t.Fatalf("globals = %d", r.GlobalCheckpoints())
+	}
+	for p, pr := range protos {
+		if pr.Status() != core.Normal {
+			t.Fatalf("P%d stranded", p)
+		}
+	}
+	// Every process ran all supersteps: work = steps (computes) +
+	// received halo messages.
+	for p, w := range r.Works {
+		if w < 150 {
+			t.Fatalf("P%d work = %d", p, w)
+		}
+	}
+}
+
+func TestBSPBlockingAmplification(t *testing.T) {
+	// Under a barrier-coupled workload, one process's blocking stall
+	// holds its neighbors at the barrier: Koo–Toueg's makespan inflation
+	// exceeds OCSML's clearly.
+	oc := bspRun(t, ocsmlBSPFactory(nil), 2, nil)
+	kt := bspRun(t, kootoueg.Factory(kootoueg.Options{Interval: des.Second}), 2, nil)
+	if kt.Makespan <= oc.Makespan {
+		t.Fatalf("blocking should hurt BSP: kt=%v ocsml=%v", kt.Makespan, oc.Makespan)
+	}
+}
+
+func TestBSPFailureRecovery(t *testing.T) {
+	// Crash a corner process mid-stencil; the barrier state must restore
+	// from CFEProgress and the halo re-injection, and the computation
+	// must finish all supersteps.
+	protos := make([]*core.Protocol, 9)
+	r := bspRun(t, ocsmlBSPFactory(protos), 3,
+		&engine.FailurePlan{At: 2 * des.Second, Proc: 0})
+	if r.Counter("recovery.recoveries") != 1 {
+		t.Fatal("no recovery ran")
+	}
+	if _, err := r.CheckAllGlobals(); err != nil {
+		t.Fatal(err)
+	}
+	for p, w := range r.Works {
+		if w < 150 {
+			t.Fatalf("P%d work = %d after recovery", p, w)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+// White-box unit tests for the control-message state machine: the
+// defensive branches (stale replies, duplicate suppression, impossible-
+// case panics) that the engine-hosted scenario tests rarely reach.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+	"ocsml/internal/trace"
+)
+
+// fakeEnv is a minimal synchronous protocol.Env: sends are recorded,
+// stable writes complete immediately, timers are real des timers that the
+// test fires by running the embedded simulator.
+type fakeEnv struct {
+	sim      *des.Simulator
+	id, n    int
+	sent     []*protocol.Envelope
+	store    *checkpoint.ProcStore
+	counters map[string]int64
+	queue    int
+	timers   []func()
+	proto    *Protocol
+}
+
+func newFakeEnv(id, n int) *fakeEnv {
+	return &fakeEnv{
+		sim: des.New(1), id: id, n: n,
+		store:    checkpoint.NewStore(n).Proc(id),
+		counters: map[string]int64{},
+	}
+}
+
+func (f *fakeEnv) ID() int          { return f.id }
+func (f *fakeEnv) N() int           { return f.n }
+func (f *fakeEnv) Now() des.Time    { return f.sim.Now() }
+func (f *fakeEnv) Rand() *rand.Rand { return f.sim.Rand() }
+func (f *fakeEnv) Send(e *protocol.Envelope) {
+	e.Src = f.id
+	if e.ID == 0 {
+		e.ID = int64(len(f.sent) + 1)
+	}
+	f.sent = append(f.sent, e)
+}
+func (f *fakeEnv) Broadcast(e *protocol.Envelope) {
+	for dst := 0; dst < f.n; dst++ {
+		if dst == f.id {
+			continue
+		}
+		cp := *e
+		cp.Dst = dst
+		f.Send(&cp)
+	}
+}
+func (f *fakeEnv) SetTimer(d des.Duration, kind, gen int) *des.Timer {
+	return f.sim.After(d, func() { f.proto.OnTimer(kind, gen) })
+}
+func (f *fakeEnv) WriteStable(tag string, bytes int64, done func(start, end des.Time)) {
+	if done != nil {
+		done(f.Now(), f.Now())
+	}
+}
+func (f *fakeEnv) WriteStableBlocking(tag string, bytes int64, done func(start, end des.Time)) {
+	f.WriteStable(tag, bytes, done)
+}
+func (f *fakeEnv) StorageQueueLen() int        { return f.queue }
+func (f *fakeEnv) StallApp()                   {}
+func (f *fakeEnv) ResumeApp()                  {}
+func (f *fakeEnv) StallAppFor(d des.Duration)  {}
+func (f *fakeEnv) Snapshot() protocol.Snapshot { return protocol.Snapshot{Bytes: 100} }
+func (f *fakeEnv) Peek() protocol.Snapshot     { return protocol.Snapshot{Bytes: 100} }
+func (f *fakeEnv) DeliverApp(e *protocol.Envelope, pre, then func()) {
+	if pre != nil {
+		pre()
+	}
+	if then != nil {
+		then()
+	}
+}
+func (f *fakeEnv) Checkpoints() *checkpoint.ProcStore { return f.store }
+func (f *fakeEnv) Note(kind trace.Kind, seq int)      {}
+func (f *fakeEnv) Count(name string, d int64)         { f.counters[name] += d }
+func (f *fakeEnv) Draining() bool                     { return false }
+
+// mount builds a protocol on a fake env, started and optionally tentative
+// at csn 1.
+func mount(t *testing.T, id, n int, opt Options, tentative bool) (*Protocol, *fakeEnv) {
+	t.Helper()
+	p := New(opt)
+	env := newFakeEnv(id, n)
+	env.proto = p
+	p.Start(env)
+	if tentative {
+		p.Initiate()
+		if p.Status() != Tentative || p.Csn() != 1 {
+			t.Fatalf("setup: %v csn=%d", p.Status(), p.Csn())
+		}
+	}
+	env.sent = nil // discard setup traffic
+	return p, env
+}
+
+func ctl(src int, tag string, csn int) *protocol.Envelope {
+	return &protocol.Envelope{
+		ID: 9999, Src: src, Kind: protocol.KindCtl, CtlTag: tag,
+		Payload: ctlMsg{csn: csn},
+	}
+}
+
+func sentTags(env *fakeEnv) []string {
+	var out []string
+	for _, e := range env.sent {
+		out = append(out, e.CtlTag)
+	}
+	return out
+}
+
+func TestStaleBGNGetsTargetedEND(t *testing.T) {
+	// P2 finalized csn 1 long ago (csn now 1, normal). A stale CK_BGN
+	// for csn 0 arrives: reply CK_END(0) directly to the sender.
+	p, env := mount(t, 2, 4, Options{Timeout: des.Second}, true)
+	// Finalize by learning everyone: simulate full tentSet.
+	for i := 0; i < 4; i++ {
+		p.tentSet.Add(i)
+	}
+	p.finalize()
+	env.sent = nil
+
+	p.OnDeliver(ctl(3, tagBGN, 0))
+	if env.counters["ctl_stale"] != 1 {
+		t.Fatal("stale counter not bumped")
+	}
+	if len(env.sent) != 1 || env.sent[0].CtlTag != tagEND || env.sent[0].Dst != 3 {
+		t.Fatalf("expected targeted CK_END to P3, got %v", sentTags(env))
+	}
+	// Stale CK_END gets no reply.
+	env.sent = nil
+	p.OnDeliver(ctl(3, tagEND, 0))
+	if len(env.sent) != 0 {
+		t.Fatalf("stale CK_END must not be answered: %v", sentTags(env))
+	}
+}
+
+func TestBGNAtFinalizedCoordinatorBroadcastsEND(t *testing.T) {
+	p, env := mount(t, 0, 3, Options{Timeout: des.Second}, true)
+	for i := 0; i < 3; i++ {
+		p.tentSet.Add(i)
+	}
+	p.finalize()
+	env.sent = nil
+
+	p.OnDeliver(ctl(2, tagBGN, 1))
+	ends := 0
+	for _, e := range env.sent {
+		if e.CtlTag == tagEND {
+			ends++
+		}
+	}
+	if ends != 2 {
+		t.Fatalf("P0 should broadcast CK_END to 2 peers, sent %v", sentTags(env))
+	}
+	// Second BGN for the same csn: END already sent, stay silent.
+	env.sent = nil
+	p.OnDeliver(ctl(1, tagBGN, 1))
+	if len(env.sent) != 0 {
+		t.Fatalf("duplicate BGN must not rebroadcast: %v", sentTags(env))
+	}
+}
+
+func TestREQAtFinalizedProcessForwardsToCoordinator(t *testing.T) {
+	// §3.5.1 case 2 prose: a process that already finalized forwards the
+	// request straight to P0.
+	p, env := mount(t, 2, 5, Options{Timeout: des.Second, SkipREQ: true}, true)
+	for i := 0; i < 5; i++ {
+		p.tentSet.Add(i)
+	}
+	p.finalize()
+	env.sent = nil
+
+	p.OnDeliver(ctl(1, tagREQ, 1))
+	if len(env.sent) != 1 || env.sent[0].CtlTag != tagREQ || env.sent[0].Dst != 0 {
+		t.Fatalf("finalized process should forward REQ to P0: %v", env.sent)
+	}
+}
+
+func TestDuplicateREQSuppressed(t *testing.T) {
+	p, env := mount(t, 2, 5, Options{Timeout: des.Second}, true)
+	p.OnDeliver(ctl(1, tagREQ, 1))
+	first := len(env.sent)
+	if first != 1 || env.sent[0].CtlTag != tagREQ {
+		t.Fatalf("expected one forwarded REQ, got %v", sentTags(env))
+	}
+	p.OnDeliver(ctl(0, tagREQ, 1))
+	if len(env.sent) != first {
+		t.Fatalf("duplicate REQ must be suppressed: %v", sentTags(env))
+	}
+}
+
+func TestENDNextCsnAtNormalFinalizesImmediately(t *testing.T) {
+	// Deviation (i): CK_END(csn+1) at a normal process takes the
+	// tentative checkpoint and finalizes at once.
+	p, env := mount(t, 1, 3, Options{Timeout: des.Second}, false)
+	p.OnDeliver(ctl(0, tagEND, 1))
+	if p.Csn() != 1 || p.Status() != Normal {
+		t.Fatalf("csn=%d status=%v", p.Csn(), p.Status())
+	}
+	if _, ok := env.store.Get(1); !ok {
+		t.Fatal("checkpoint 1 not finalized")
+	}
+}
+
+func TestREQNextCsnJoinsAndForwards(t *testing.T) {
+	p, env := mount(t, 1, 4, Options{Timeout: des.Second, SkipREQ: true}, false)
+	p.OnDeliver(ctl(0, tagREQ, 1))
+	if p.Csn() != 1 || p.Status() != Tentative {
+		t.Fatalf("should join round 1: csn=%d %v", p.Csn(), p.Status())
+	}
+	if len(env.sent) != 1 || env.sent[0].CtlTag != tagREQ || env.sent[0].Dst != 2 {
+		t.Fatalf("should forward REQ to P2: %v", env.sent)
+	}
+}
+
+func TestImpossibleControlCsnPanics(t *testing.T) {
+	p, _ := mount(t, 1, 3, Options{Timeout: des.Second}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CM.csn > csn+1 should panic")
+		}
+	}()
+	p.OnDeliver(ctl(0, tagEND, 5))
+}
+
+func TestForeignControlPayloadPanics(t *testing.T) {
+	p, _ := mount(t, 1, 3, Options{Timeout: des.Second}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign payload should panic")
+		}
+	}()
+	p.OnDeliver(&protocol.Envelope{Kind: protocol.KindCtl, CtlTag: "weird", Payload: 42})
+}
+
+func TestUnknownTagPanics(t *testing.T) {
+	p, _ := mount(t, 1, 3, Options{Timeout: des.Second}, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown tag with valid payload should panic")
+		}
+	}()
+	p.OnDeliver(ctl(0, "CK_WAT", 1))
+}
+
+func TestCoordinatorTimeoutStartsRound(t *testing.T) {
+	p, env := mount(t, 0, 3, Options{Timeout: 100 * des.Millisecond}, true)
+	env.sim.Run() // fire the convergence timer
+	if len(env.sent) == 0 || env.sent[0].CtlTag != tagREQ || env.sent[0].Dst != 1 {
+		t.Fatalf("P0 timeout should send CK_REQ to P1: %v", sentTags(env))
+	}
+	// A second expiry (re-armed manually) must not duplicate the round.
+	env.sent = nil
+	p.onConvergeTimeout(1)
+	if len(env.sent) != 0 {
+		t.Fatalf("duplicate round initiated: %v", sentTags(env))
+	}
+}
+
+func TestTimeoutSuppressionAndEscalation(t *testing.T) {
+	p, env := mount(t, 3, 5, Options{
+		Timeout: 100 * des.Millisecond, SuppressBGN: true, EscalateBGN: true,
+	}, true)
+	p.tentSet.Add(1) // a lower-id process is known tentative
+	p.onConvergeTimeout(1)
+	if len(env.sent) != 0 {
+		t.Fatalf("first expiry should suppress: %v", sentTags(env))
+	}
+	if env.counters["bgn_suppressed"] != 1 {
+		t.Fatal("suppression not counted")
+	}
+	// Escalation: the re-armed timer sends unconditionally.
+	p.onConvergeTimeout(1)
+	if len(env.sent) != 1 || env.sent[0].CtlTag != tagBGN || env.sent[0].Dst != 0 {
+		t.Fatalf("escalated expiry should send CK_BGN: %v", sentTags(env))
+	}
+}
+
+func TestSendCtlToSelfPanics(t *testing.T) {
+	p, _ := mount(t, 1, 3, Options{Timeout: des.Second}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send should panic")
+		}
+	}()
+	p.sendCtl(1, tagBGN, 0)
+}
+
+func TestFactoryAndFinish(t *testing.T) {
+	pf := Factory(DefaultOptions())
+	p := pf(0, 2).(*Protocol)
+	if p.Name() != "ocsml" {
+		t.Fatal("factory product wrong")
+	}
+	p.Finish() // no-op, must not panic
+}
+
+func TestRollbackResetsState(t *testing.T) {
+	p, env := mount(t, 1, 3, Options{Timeout: des.Second, Interval: des.Second}, true)
+	p.logSet = append(p.logSet, checkpoint.LoggedMsg{ID: 1})
+	p.Rollback(0)
+	if p.Status() != Normal || p.Csn() != 0 || p.LogLen() != 0 {
+		t.Fatalf("rollback state wrong: %v csn=%d log=%d", p.Status(), p.Csn(), p.LogLen())
+	}
+	if !p.tentSet.Empty() {
+		t.Fatal("tentSet not cleared")
+	}
+	_ = env
+}

@@ -1,0 +1,209 @@
+// Package engine wires an application workload, a checkpointing protocol,
+// the network, the stable-storage server and the trace recorder into a
+// deterministic discrete-event simulation of one distributed computation.
+//
+// One Cluster hosts N processes. Each process is a Node pairing a
+// protocol.App (the computation) with a protocol.Protocol (the
+// checkpointing algorithm); the Node implements both protocol.Env and
+// protocol.AppCtx, so protocol and application act on the world only
+// through it. All callbacks run single-threaded inside the simulator.
+package engine
+
+import (
+	"fmt"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+	"ocsml/internal/metrics"
+	"ocsml/internal/netsim"
+	"ocsml/internal/protocol"
+	"ocsml/internal/storage"
+	"ocsml/internal/trace"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	N    int
+	Seed int64
+	// FIFO selects per-channel FIFO delivery (required by the
+	// Chandy–Lamport baseline; the paper's algorithm does not need it).
+	FIFO bool
+	// Latency is the network latency model (netsim.DefaultLatency if nil).
+	Latency netsim.LatencyModel
+	// DropRate makes the network lossy (0..1). Protocols then need the
+	// reliable-transport middleware (internal/reliable) to be correct.
+	DropRate float64
+	// Storage configures the stable-storage server(s).
+	Storage storage.Config
+	// LocalStorage gives every process its own storage server (local
+	// disks) instead of the shared network file server — the ablation
+	// that isolates the paper's shared-storage contention argument.
+	LocalStorage bool
+	// StateBytes is the size of one process-state image (checkpoint).
+	StateBytes int64
+	// CopyCost is the local stall incurred when snapshotting process
+	// state into memory (the cost of taking a tentative checkpoint).
+	CopyCost des.Duration
+	// Drain is how long the simulation keeps running after the workload
+	// completes, letting protocols finalize outstanding checkpoints.
+	Drain des.Duration
+	// MaxTime aborts runaway simulations (0 = unbounded).
+	MaxTime des.Time
+	// TraceEnabled records the full event trace (disable for large
+	// benchmark sweeps).
+	TraceEnabled bool
+}
+
+// DefaultConfig returns a moderate cluster: 8 processes, 16 MB state
+// images, 2007-era LAN and NFS server.
+func DefaultConfig() Config {
+	return Config{
+		N:            8,
+		Seed:         1,
+		Storage:      storage.DefaultConfig(),
+		StateBytes:   16 << 20,
+		CopyCost:     5 * des.Millisecond,
+		Drain:        60 * des.Second,
+		MaxTime:      4 * des.Hour,
+		TraceEnabled: true,
+	}
+}
+
+// ProtoFactory builds the protocol instance for process i of n.
+type ProtoFactory func(i, n int) protocol.Protocol
+
+// AppFactory builds the application instance for process i of n.
+type AppFactory func(i, n int) protocol.App
+
+// Cluster is one simulated distributed computation.
+type Cluster struct {
+	cfg Config
+	Sim *des.Simulator
+	Net *netsim.Network
+	// Store is the shared server (or the first local one).
+	Store  *storage.Server
+	stores []*storage.Server
+	Rec    *trace.Recorder
+	Ckpts  *checkpoint.Store
+
+	nodes    []*Node
+	doneN    int
+	draining bool
+	makespan des.Time
+	counters map[string]int64
+	failure  *FailurePlan
+	epoch    int // recovery epoch; bumped on rollback
+
+	appMsgs        metrics.Counter
+	piggyBytes     metrics.Counter
+	appLatency     metrics.Summary // send→process latency, seconds
+	stalledSeconds metrics.Summary // per-node total stalled time
+	protoName      string
+}
+
+// New builds a cluster. Protocol and application instances are created
+// immediately; nothing runs until Run.
+func New(cfg Config, pf ProtoFactory, af AppFactory) *Cluster {
+	if cfg.N < 2 {
+		panic(fmt.Sprintf("engine: need at least 2 processes, got %d", cfg.N))
+	}
+	if cfg.Storage.Bandwidth == 0 {
+		cfg.Storage = storage.DefaultConfig()
+	}
+	sim := des.New(cfg.Seed)
+	c := &Cluster{
+		cfg:      cfg,
+		Sim:      sim,
+		Rec:      trace.NewRecorder(),
+		Ckpts:    checkpoint.NewStore(cfg.N),
+		counters: map[string]int64{},
+	}
+	c.Rec.SetEnabled(cfg.TraceEnabled)
+	if cfg.LocalStorage {
+		c.stores = make([]*storage.Server, cfg.N)
+		for i := range c.stores {
+			c.stores[i] = storage.NewServer(sim, cfg.Storage)
+		}
+	} else {
+		c.stores = []*storage.Server{storage.NewServer(sim, cfg.Storage)}
+	}
+	c.Store = c.stores[0]
+	c.Net = netsim.New(sim, netsim.Config{
+		N: cfg.N, FIFO: cfg.FIFO, Latency: cfg.Latency, DropRate: cfg.DropRate,
+	}, c.deliver)
+	c.nodes = make([]*Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.nodes[i] = &Node{c: c, id: i}
+		c.nodes[i].proto = pf(i, cfg.N)
+		c.nodes[i].app = af(i, cfg.N)
+	}
+	c.protoName = c.nodes[0].proto.Name()
+	if cfg.MaxTime > 0 {
+		sim.SetHorizon(cfg.MaxTime)
+	}
+	return c
+}
+
+// Node returns process i's node (used by the recovery tooling and tests).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Run executes the simulation to completion and returns the result.
+func (c *Cluster) Run() *Result {
+	for _, n := range c.nodes {
+		n.proto.Start(n)
+	}
+	for _, n := range c.nodes {
+		n.app.Start(appCtx{n})
+	}
+	c.Sim.Run()
+	for _, n := range c.nodes {
+		if n.stall > 0 {
+			// Account stall time still open at end of run.
+			n.stalledTotal += c.Sim.Now() - n.stallStart
+			n.stall = 0
+		}
+		c.stalledSeconds.Observe(n.stalledTotal.Seconds())
+	}
+	return c.result()
+}
+
+// deliver routes an arriving envelope to its destination protocol.
+func (c *Cluster) deliver(e *protocol.Envelope) {
+	if e.Epoch != c.epoch {
+		// Sent before a rollback: the channel contents of the old epoch
+		// were discarded and rebuilt from the message logs.
+		c.count("recovery.stale_dropped", 1)
+		return
+	}
+	n := c.nodes[e.Dst]
+	if e.Kind == protocol.KindCtl {
+		c.Rec.Record(trace.Event{
+			T: c.Sim.Now(), Kind: trace.KCtlRecv, Proc: e.Dst, Peer: e.Src,
+			MsgID: e.ID, Seq: -1, Tag: e.CtlTag,
+		})
+	}
+	n.proto.OnDeliver(e)
+}
+
+// appDone is called once per node when its workload quota completes.
+func (c *Cluster) appDone() {
+	c.doneN++
+	if c.doneN == c.cfg.N && !c.draining {
+		c.draining = true
+		c.makespan = c.Sim.Now()
+		for _, n := range c.nodes {
+			n.proto.Finish()
+		}
+		c.Sim.At(c.Sim.Now()+c.cfg.Drain, c.Sim.Stop)
+	}
+}
+
+func (c *Cluster) count(name string, delta int64) { c.counters[name] += delta }
+
+// storeFor returns process i's stable-storage server.
+func (c *Cluster) storeFor(i int) *storage.Server {
+	if len(c.stores) == 1 {
+		return c.stores[0]
+	}
+	return c.stores[i]
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"fmt"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+	"ocsml/internal/trace"
+)
+
+// FailurePlan injects a crash into a run: process Proc fails at time At
+// (losing all volatile state — unfinalized tentative checkpoints,
+// in-memory logs, in-flight messages to and from it). After DetectDelay
+// the cluster performs a coordinated rollback to the most recent global
+// checkpoint that is complete on stable storage, reconstructs the channel
+// contents from the selective message logs, and resumes the computation.
+//
+// This is the paper's recovery model for its class of algorithms:
+// "recovery ... is simple since processes need only to roll back to the
+// last committed global checkpoint" (§1), combined with log-based channel
+// replay from C_{i,k} = CT_{i,k} ∪ logSet_{i,k}.
+type FailurePlan struct {
+	At          des.Time
+	Proc        int
+	DetectDelay des.Duration
+}
+
+// InjectFailure schedules a crash before Run. The hosted protocol must
+// implement protocol.Rewinder and the application protocol.RewindableApp;
+// the engine panics at recovery time otherwise. Multiple failures may be
+// injected as long as their crash/recovery windows do not overlap
+// (each At must lie after the previous failure's recovery).
+func (c *Cluster) InjectFailure(plan FailurePlan) {
+	if plan.Proc < 0 || plan.Proc >= c.cfg.N {
+		panic(fmt.Sprintf("engine: failure of invalid process %d", plan.Proc))
+	}
+	if plan.DetectDelay <= 0 {
+		plan.DetectDelay = 100 * des.Millisecond
+	}
+	if prev := c.failure; prev != nil && plan.At <= prev.At+prev.DetectDelay {
+		panic(fmt.Sprintf("engine: failure at %v overlaps previous recovery window (ends %v)",
+			plan.At, prev.At+prev.DetectDelay))
+	}
+	c.failure = &plan
+	// Enable dedup bookkeeping from the start: the restored cluster must
+	// recognize messages that are already part of the recovery line.
+	for _, n := range c.nodes {
+		if n.processed == nil {
+			n.processed = map[int64]des.Time{}
+		}
+	}
+	c.Sim.At(plan.At, func() { c.failProcess(plan.Proc) })
+	c.Sim.At(plan.At+plan.DetectDelay, c.recoverAll)
+}
+
+// failProcess crashes one process: its volatile state is gone, the
+// network stops delivering to and from it.
+func (c *Cluster) failProcess(proc int) {
+	n := c.nodes[proc]
+	n.failed = true
+	c.Net.SetDown(proc, true)
+	c.Rec.Record(trace.Event{T: c.Sim.Now(), Kind: trace.KFail, Proc: proc, Peer: -1, Seq: -1})
+	c.count("recovery.failures", 1)
+}
+
+// recoveryLine picks the highest sequence number whose checkpoints are
+// complete and already on stable storage at this instant.
+func (c *Cluster) recoveryLine() int {
+	now := c.Sim.Now()
+	best := 0
+	for seq := 1; seq <= c.Ckpts.MaxCompleteSeq(); seq++ {
+		ok := true
+		for p := 0; p < c.cfg.N; p++ {
+			r, found := c.Ckpts.Proc(p).Get(seq)
+			if !found || r.StableAt == 0 || r.StableAt > now {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = seq
+		}
+	}
+	return best
+}
+
+// recoverAll performs the coordinated rollback and resumption.
+func (c *Cluster) recoverAll() {
+	if c.draining {
+		// The workload already completed; there is nothing to resume.
+		// The crashed process stays down through the drain.
+		c.count("recovery.skipped_after_completion", 1)
+		return
+	}
+	now := c.Sim.Now()
+	seq := c.recoveryLine()
+	c.count("recovery.line_seq", int64(seq))
+
+	// New epoch: every pre-failure timer, stall, deferred action and
+	// in-flight envelope is void. Channel contents will be rebuilt from
+	// the logs below.
+	c.epoch++
+	c.doneN = 0
+
+	for p := 0; p < c.cfg.N; p++ {
+		n := c.nodes[p]
+		rec, ok := c.Ckpts.Proc(p).Get(seq)
+		if !ok {
+			panic(fmt.Sprintf("engine: recovery line %d missing on P%d", seq, p))
+		}
+		// Checkpoints above the line are rolled back; the protocol will
+		// legitimately regenerate those sequence numbers.
+		if removed := c.Ckpts.Proc(p).TruncateAfter(seq); removed > 0 {
+			c.count("recovery.ckpts_discarded", int64(removed))
+		}
+
+		n.failed = false
+		c.Net.SetDown(p, false)
+		n.epoch = c.epoch
+		n.stall = 0
+		n.deferred = nil
+		n.appDone = false
+
+		// Restore the state at the cut point: CT state plus the logged
+		// message replay (CFEFold == FoldLog(Fold, Log), a validated
+		// invariant); the work and progress counters were snapshotted at
+		// CFE.
+		n.fold = rec.CFEFold
+		n.work = rec.CFEWork
+		n.lineCFE = rec.FinalizedAt
+		n.restoreAt = now
+
+		rew, ok := n.proto.(protocol.Rewinder)
+		if !ok {
+			panic(fmt.Sprintf("engine: protocol %q does not support rollback", n.proto.Name()))
+		}
+		rew.Rollback(seq)
+		c.Rec.Record(trace.Event{T: now, Kind: trace.KRestore, Proc: p, Peer: -1, Seq: seq})
+	}
+
+	// Reconstruct the channel state: every message logged as Sent whose
+	// receive is not part of the recovery line is re-injected. Receiver-
+	// side dedup (processApp) drops the ones already inside the line, so
+	// we simply re-inject all logged sends.
+	for p := 0; p < c.cfg.N; p++ {
+		rec, _ := c.Ckpts.Proc(p).Get(seq)
+		for _, m := range rec.Log {
+			if m.Dir != checkpoint.Sent {
+				continue
+			}
+			e := &protocol.Envelope{
+				ID: m.ID, Src: m.Src, Dst: m.Dst,
+				Kind: protocol.KindApp, Bytes: m.Bytes,
+				App:   protocol.AppMsg{Seq: m.AppSeq, Bytes: m.Bytes, Tag: m.Tag},
+				Epoch: c.epoch,
+			}
+			// The sender's (rolled-back) protocol wraps the replayed
+			// message with its current piggyback, exactly as it would a
+			// fresh send.
+			c.nodes[m.Src].proto.OnAppSend(e)
+			e.SentAt = now
+			c.Net.Inject(e)
+			c.count("recovery.reinjected", 1)
+		}
+	}
+
+	// Resume the applications from the progress recorded at the cut.
+	for p := 0; p < c.cfg.N; p++ {
+		n := c.nodes[p]
+		rec, _ := c.Ckpts.Proc(p).Get(seq)
+		ra, ok := n.app.(protocol.RewindableApp)
+		if !ok {
+			panic(fmt.Sprintf("engine: application on P%d does not support rollback", p))
+		}
+		ra.Restore(appCtx{n}, rec.CFEProgress)
+	}
+	c.count("recovery.recoveries", 1)
+}

@@ -1,0 +1,37 @@
+package harness
+
+// A4 isolates the shared-file-server assumption: the paper's contention
+// argument (§1: "the stable storage is at the network file server") goes
+// away if every node has its own disk — but so does only the *queueing*,
+// not the blocking.
+func A4() Experiment {
+	return Experiment{
+		ID:    "A4",
+		Title: "Ablation: shared network file server vs per-node local disks",
+		Claim: "The synchronous baselines' N-fold queueing penalty exists only with shared storage (paper §1); their per-write blocking remains even on local disks — OCSML avoids both.",
+		Run: func(s Scale) *Table {
+			t := &Table{Columns: []string{"protocol", "storage", "peakQueue", "meanWait(s)", "blocked(s)/proc", "makespan(s)"}}
+			n := 16
+			for _, proto := range []string{"koo-toueg", "chandy-lamport", "ocsml"} {
+				for _, local := range []bool{false, true} {
+					r := Run(RunCfg{
+						Proto: proto, N: n,
+						Steps: s.Steps(), Think: s.Think(),
+						Interval: s.Interval(), StateBytes: s.StateBytes(),
+						LocalStorage: local,
+					})
+					name := "shared"
+					if local {
+						name = "local"
+					}
+					t.AddRow(proto, name,
+						I(r.StoragePeakAll()),
+						F(r.StorageMeanWaitAll()),
+						F(r.StalledSeconds.Sum()/float64(n)),
+						F(r.Makespan.Seconds()))
+				}
+			}
+			return t
+		},
+	}
+}

@@ -1,0 +1,50 @@
+package harness
+
+// Cross-product safety net: every coordinated protocol on every workload
+// pattern must complete and emit only consistent global checkpoints.
+
+import (
+	"fmt"
+	"testing"
+
+	"ocsml/internal/des"
+	"ocsml/internal/workload"
+)
+
+func TestProtocolWorkloadMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	protos := []string{"ocsml", "chandy-lamport", "koo-toueg", "staggered", "bcs-cic"}
+	patterns := []workload.Pattern{
+		workload.UniformRandom, workload.Ring, workload.ClientServer,
+		workload.Mesh, workload.Bursty, workload.BSPStencil,
+	}
+	for _, proto := range protos {
+		for _, pat := range patterns {
+			for seed := int64(1); seed <= 2; seed++ {
+				proto, pat, seed := proto, pat, seed
+				t.Run(fmt.Sprintf("%s/%v/seed%d", proto, pat, seed), func(t *testing.T) {
+					t.Parallel()
+					r := Run(RunCfg{
+						Proto: proto, N: 6, Seed: seed,
+						Steps: 200, Think: 10 * des.Millisecond,
+						Pattern: pat, StateBytes: 4 << 20,
+						Interval: des.Second, Timeout: 400 * des.Millisecond,
+						Trace: true,
+					})
+					if !r.Completed {
+						t.Fatal("did not complete")
+					}
+					seqs, err := r.CheckAllGlobals()
+					if err != nil {
+						t.Fatalf("consistency: %v", err)
+					}
+					if len(seqs) < 2 {
+						t.Fatalf("too few global checkpoints: %v", seqs)
+					}
+				})
+			}
+		}
+	}
+}

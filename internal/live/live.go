@@ -1,0 +1,463 @@
+// Package live hosts the same protocol state machines as internal/engine,
+// but on real goroutines and channels instead of the deterministic
+// discrete-event simulator: one goroutine per process serializes all
+// protocol and application callbacks, delivery goroutines add random
+// delays (non-FIFO channels), and a storage goroutine serializes stable
+// writes FIFO.
+//
+// The live runtime exists to validate the protocols under genuine
+// concurrency (run the tests with -race): the state machines themselves
+// are engine-agnostic, so any latent reliance on the simulator's
+// determinism shows up here.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+	"ocsml/internal/engine"
+	"ocsml/internal/protocol"
+	"ocsml/internal/trace"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	N    int
+	Seed int64
+	// MaxDelay is the upper bound on the random per-message delivery
+	// delay (real time). Channels are non-FIFO.
+	MaxDelay time.Duration
+	// DropRate makes delivery lossy (0..1); combine with the reliable
+	// transport middleware.
+	DropRate float64
+	// WriteTime converts stable-write sizes to service time:
+	// bytes/WriteBandwidth (bytes per real second).
+	WriteBandwidth int64
+	// RunFor bounds the run in real time after the workload completes
+	// (the drain).
+	Drain time.Duration
+	// Timeout aborts a stuck run.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns a fast-running live configuration.
+func DefaultConfig() Config {
+	return Config{
+		N:              4,
+		Seed:           1,
+		MaxDelay:       2 * time.Millisecond,
+		WriteBandwidth: 1 << 30,
+		Drain:          300 * time.Millisecond,
+		Timeout:        30 * time.Second,
+	}
+}
+
+// Cluster is a live (goroutine-based) run.
+type Cluster struct {
+	cfg   Config
+	Rec   *trace.Recorder
+	Ckpts *checkpoint.Store
+
+	nodes  []*node
+	start  time.Time
+	nextID atomic.Int64
+
+	doneN   atomic.Int32
+	allDone chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	storageCh  chan storeReq
+	storageQ   atomic.Int32
+	countersMu sync.Mutex
+	counters   map[string]int64
+
+	draining atomic.Bool
+}
+
+type storeReq struct {
+	bytes int64
+	done  func(start, end des.Time)
+	node  *node
+}
+
+// New builds a live cluster.
+func New(cfg Config, pf engine.ProtoFactory, af engine.AppFactory) *Cluster {
+	if cfg.N < 2 {
+		panic("live: need at least 2 processes")
+	}
+	if cfg.WriteBandwidth <= 0 {
+		cfg.WriteBandwidth = 1 << 30
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		Rec:       trace.NewRecorder(),
+		Ckpts:     checkpoint.NewStore(cfg.N),
+		allDone:   make(chan struct{}),
+		quit:      make(chan struct{}),
+		storageCh: make(chan storeReq, 1024),
+		counters:  map[string]int64{},
+	}
+	for i := 0; i < cfg.N; i++ {
+		n := &node{
+			c: c, id: i,
+			inbox: make(chan func(), 4096),
+			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+		n.proto = pf(i, cfg.N)
+		n.app = af(i, cfg.N)
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+// Run executes the cluster and returns the checkpoint store once the
+// workload completes and the drain elapses.
+func (c *Cluster) Run() error {
+	c.start = time.Now()
+	c.wg.Add(1)
+	go c.storageLoop()
+	for _, n := range c.nodes {
+		c.wg.Add(1)
+		go n.loop()
+	}
+	for _, n := range c.nodes {
+		n := n
+		n.post(func() { n.proto.Start(n) })
+		n.post(func() { n.app.Start(liveAppCtx{n}) })
+	}
+	select {
+	case <-c.allDone:
+	case <-time.After(c.cfg.Timeout):
+		close(c.quit)
+		c.wg.Wait()
+		return fmt.Errorf("live: workload did not complete within %v", c.cfg.Timeout)
+	}
+	c.draining.Store(true)
+	for _, n := range c.nodes {
+		n := n
+		n.post(func() { n.proto.Finish() })
+	}
+	time.Sleep(c.cfg.Drain)
+	close(c.quit)
+	c.wg.Wait()
+	return nil
+}
+
+// Counter reads a named counter after the run.
+func (c *Cluster) Counter(name string) int64 {
+	c.countersMu.Lock()
+	defer c.countersMu.Unlock()
+	return c.counters[name]
+}
+
+func (c *Cluster) count(name string, delta int64) {
+	c.countersMu.Lock()
+	c.counters[name] += delta
+	c.countersMu.Unlock()
+}
+
+func (c *Cluster) now() des.Time { return des.Time(time.Since(c.start)) }
+
+func (c *Cluster) storageLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case req := <-c.storageCh:
+			start := c.now()
+			d := time.Duration(float64(req.bytes) / float64(c.cfg.WriteBandwidth) * float64(time.Second))
+			if d > 0 {
+				select {
+				case <-time.After(d):
+				case <-c.quit:
+					return
+				}
+			}
+			end := c.now()
+			c.storageQ.Add(-1)
+			if req.done != nil {
+				done := req.done
+				req.node.post(func() { done(start, end) })
+			}
+		}
+	}
+}
+
+func (c *Cluster) appDone() {
+	if int(c.doneN.Add(1)) == c.cfg.N {
+		close(c.allDone)
+	}
+}
+
+// node is one live process; its loop goroutine serializes every callback.
+type node struct {
+	c     *Cluster
+	id    int
+	inbox chan func()
+	rng   *rand.Rand
+	proto protocol.Protocol
+	app   protocol.App
+
+	// Single-goroutine state (touched only from loop).
+	fold     uint64
+	work     int64
+	appSeq   int64
+	appDone  bool
+	stall    int
+	deferred []func()
+}
+
+func (n *node) loop() {
+	defer n.c.wg.Done()
+	for {
+		select {
+		case <-n.c.quit:
+			return
+		case fn := <-n.inbox:
+			fn()
+		}
+	}
+}
+
+// post enqueues a callback onto the node's serialized loop.
+func (n *node) post(fn func()) {
+	select {
+	case n.inbox <- fn:
+	case <-n.c.quit:
+	}
+}
+
+var (
+	_ protocol.Env = (*node)(nil)
+)
+
+// ---- protocol.Env ----
+
+// ID implements protocol.Env.
+func (n *node) ID() int { return n.id }
+
+// N implements protocol.Env.
+func (n *node) N() int { return n.c.cfg.N }
+
+// Now implements protocol.Env.
+func (n *node) Now() des.Time { return n.c.now() }
+
+// Rand implements protocol.Env: per-node source, only touched from the
+// node's own goroutine.
+func (n *node) Rand() *rand.Rand { return n.rng }
+
+// Send implements protocol.Env.
+func (n *node) Send(e *protocol.Envelope) {
+	e.Src = n.id
+	if e.ID == 0 {
+		e.ID = n.c.nextID.Add(1)
+	}
+	if e.Kind == protocol.KindCtl {
+		n.c.count("ctl."+e.CtlTag, 1)
+		n.c.Rec.Record(trace.Event{
+			T: n.Now(), Kind: trace.KCtlSend, Proc: n.id, Peer: e.Dst,
+			MsgID: e.ID, Seq: -1, Tag: e.CtlTag,
+		})
+	}
+	e.SentAt = n.c.now()
+	if n.c.cfg.DropRate > 0 && n.rng.Float64() < n.c.cfg.DropRate {
+		n.c.count("live.dropped", 1)
+		return
+	}
+	dst := n.c.nodes[e.Dst]
+	delay := time.Duration(n.rng.Int63n(int64(n.c.cfg.MaxDelay) + 1))
+	env := e
+	time.AfterFunc(delay, func() {
+		dst.post(func() {
+			if env.Kind == protocol.KindCtl {
+				n.c.Rec.Record(trace.Event{
+					T: n.c.now(), Kind: trace.KCtlRecv, Proc: env.Dst, Peer: env.Src,
+					MsgID: env.ID, Seq: -1, Tag: env.CtlTag,
+				})
+			}
+			dst.proto.OnDeliver(env)
+		})
+	})
+}
+
+// Broadcast implements protocol.Env.
+func (n *node) Broadcast(e *protocol.Envelope) {
+	for dst := 0; dst < n.c.cfg.N; dst++ {
+		if dst == n.id {
+			continue
+		}
+		cp := *e
+		cp.ID = 0
+		cp.Dst = dst
+		n.Send(&cp)
+	}
+}
+
+// SetTimer implements protocol.Env. The des.Timer cancellation contract is
+// emulated with a wrapper flag checked on the node goroutine.
+func (n *node) SetTimer(d des.Duration, kind, gen int) *des.Timer {
+	// Reuse des.Timer's cancellation by scheduling through a throwaway
+	// simulator is not possible here; instead rely on protocols
+	// tolerating late timers (they all re-check generation/state).
+	time.AfterFunc(time.Duration(d), func() {
+		n.post(func() { n.proto.OnTimer(kind, gen) })
+	})
+	return nil
+}
+
+// WriteStable implements protocol.Env.
+func (n *node) WriteStable(tag string, bytes int64, done func(start, end des.Time)) {
+	n.c.storageQ.Add(1)
+	select {
+	case n.c.storageCh <- storeReq{bytes: bytes, done: done, node: n}:
+	case <-n.c.quit:
+	}
+}
+
+// WriteStableBlocking implements protocol.Env.
+func (n *node) WriteStableBlocking(tag string, bytes int64, done func(start, end des.Time)) {
+	n.StallApp()
+	n.WriteStable(tag, bytes, func(start, end des.Time) {
+		n.ResumeApp()
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// StorageQueueLen implements protocol.Env.
+func (n *node) StorageQueueLen() int { return int(n.c.storageQ.Load()) }
+
+// StallApp implements protocol.Env.
+func (n *node) StallApp() { n.stall++ }
+
+// ResumeApp implements protocol.Env.
+func (n *node) ResumeApp() {
+	if n.stall == 0 {
+		panic("live: ResumeApp without StallApp")
+	}
+	n.stall--
+	if n.stall == 0 {
+		for len(n.deferred) > 0 && n.stall == 0 {
+			fn := n.deferred[0]
+			n.deferred = n.deferred[1:]
+			fn()
+		}
+	}
+}
+
+// StallAppFor implements protocol.Env.
+func (n *node) StallAppFor(d des.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.StallApp()
+	time.AfterFunc(time.Duration(d), func() { n.post(n.ResumeApp) })
+}
+
+// Snapshot implements protocol.Env (no copy-cost modeling in the live
+// runtime).
+func (n *node) Snapshot() protocol.Snapshot {
+	return protocol.Snapshot{Bytes: 1 << 20, Fold: n.fold, Work: n.work}
+}
+
+// Peek implements protocol.Env.
+func (n *node) Peek() protocol.Snapshot { return n.Snapshot() }
+
+// DeliverApp implements protocol.Env.
+func (n *node) DeliverApp(e *protocol.Envelope, pre, then func()) {
+	if n.stall > 0 {
+		n.deferred = append(n.deferred, func() { n.processApp(e, pre, then) })
+		return
+	}
+	n.processApp(e, pre, then)
+}
+
+func (n *node) processApp(e *protocol.Envelope, pre, then func()) {
+	n.c.Rec.Record(trace.Event{
+		T: n.Now(), Kind: trace.KRecv, Proc: n.id, Peer: e.Src, MsgID: e.ID, Seq: -1,
+	})
+	n.fold = checkpoint.FoldEvent(n.fold, checkpoint.Received, e.Src, e.Dst, e.App.Tag, e.App.Seq)
+	if pre != nil {
+		pre()
+	}
+	n.app.OnMessage(liveAppCtx{n}, e.Src, e.App)
+	if then != nil {
+		then()
+	}
+}
+
+// Checkpoints implements protocol.Env.
+func (n *node) Checkpoints() *checkpoint.ProcStore { return n.c.Ckpts.Proc(n.id) }
+
+// Note implements protocol.Env.
+func (n *node) Note(kind trace.Kind, seq int) {
+	n.c.Rec.Record(trace.Event{T: n.Now(), Kind: kind, Proc: n.id, Peer: -1, Seq: seq})
+}
+
+// Count implements protocol.Env.
+func (n *node) Count(name string, delta int64) { n.c.count(name, delta) }
+
+// Draining implements protocol.Env.
+func (n *node) Draining() bool { return n.c.draining.Load() }
+
+// ---- protocol.AppCtx ----
+
+type liveAppCtx struct{ *node }
+
+// Send implements protocol.AppCtx.
+func (a liveAppCtx) Send(dst int, m protocol.AppMsg) {
+	n := a.node
+	if dst == n.id || dst < 0 || dst >= n.c.cfg.N {
+		panic(fmt.Sprintf("live: P%d sending to invalid destination %d", n.id, dst))
+	}
+	n.appSeq++
+	m.Seq = n.appSeq
+	if m.Tag == 0 {
+		m.Tag = n.rng.Uint64() | 1
+	}
+	e := &protocol.Envelope{
+		ID: n.c.nextID.Add(1), Src: n.id, Dst: dst,
+		Kind: protocol.KindApp, Bytes: m.Bytes, App: m,
+	}
+	n.fold = checkpoint.FoldEvent(n.fold, checkpoint.Sent, n.id, dst, m.Tag, m.Seq)
+	n.c.Rec.Record(trace.Event{
+		T: n.Now(), Kind: trace.KSend, Proc: n.id, Peer: dst, MsgID: e.ID, Seq: -1,
+	})
+	n.proto.OnAppSend(e)
+	n.Send(e)
+}
+
+// After implements protocol.AppCtx.
+func (a liveAppCtx) After(d des.Duration, fn func()) *des.Timer {
+	n := a.node
+	time.AfterFunc(time.Duration(d), func() {
+		n.post(func() {
+			if n.stall > 0 {
+				n.deferred = append(n.deferred, fn)
+				return
+			}
+			fn()
+		})
+	})
+	return nil
+}
+
+// DoWork implements protocol.AppCtx.
+func (a liveAppCtx) DoWork(units int64) { a.node.work += units }
+
+// Done implements protocol.AppCtx.
+func (a liveAppCtx) Done() {
+	if a.node.appDone {
+		return
+	}
+	a.node.appDone = true
+	a.node.c.appDone()
+}

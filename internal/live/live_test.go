@@ -1,0 +1,196 @@
+package live_test
+
+// Live-runtime stress tests: the same OCSML state machine as the
+// deterministic simulator, but on real goroutines, channels, and timers.
+// Run with -race to catch any synchronization hole. Timings are real time
+// here, so assertions are about safety (consistency, replay exactness),
+// never about exact schedules.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ocsml/internal/baseline/uncoord"
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/engine"
+	"ocsml/internal/live"
+	"ocsml/internal/reliable"
+	"ocsml/internal/trace"
+	"ocsml/internal/workload"
+)
+
+func liveWorkload(steps int64) engine.AppFactory {
+	return workload.Factory(workload.Config{
+		Pattern: workload.UniformRandom, Steps: steps,
+		Think: 2 * des.Millisecond, MsgBytes: 1 << 10,
+	})
+}
+
+func TestLiveOCSML(t *testing.T) {
+	opt := core.Options{
+		Interval:  40 * des.Millisecond,
+		Timeout:   25 * des.Millisecond,
+		SkipREQ:   true,
+		FlushPoll: 5 * des.Millisecond,
+	}
+	cfg := live.DefaultConfig()
+	cfg.N = 5
+	c := live.New(cfg, core.Factory(opt), liveWorkload(60))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Safety: every complete global checkpoint must be consistent.
+	seqs := c.Ckpts.CompleteSeqs()
+	if len(seqs) < 2 {
+		t.Fatalf("expected at least one real global checkpoint, got %v", seqs)
+	}
+	for _, seq := range seqs {
+		if seq == 0 {
+			continue
+		}
+		cut, ok := c.Rec.CutAt(cfg.N, trace.KFinalize, seq)
+		if !ok {
+			t.Fatalf("no finalize cut for seq %d", seq)
+		}
+		if rep := c.Rec.CheckCut(cut); !rep.Consistent() {
+			t.Fatalf("S_%d inconsistent under live runtime: %d orphans", seq, len(rep.Orphans))
+		}
+	}
+	// Replay exactness holds under real concurrency too.
+	for p := 0; p < cfg.N; p++ {
+		for _, rec := range c.Ckpts.Proc(p).All() {
+			if rec.Seq == 0 {
+				continue
+			}
+			if got := checkpoint.FoldLog(rec.Fold, rec.Log); got != rec.CFEFold {
+				t.Fatalf("live replay mismatch at P%d seq %d", p, rec.Seq)
+			}
+		}
+	}
+}
+
+func TestLiveOCSMLQuiet(t *testing.T) {
+	// Almost no traffic: convergence must come from control messages.
+	opt := core.Options{
+		Interval:    30 * des.Millisecond,
+		Timeout:     15 * des.Millisecond,
+		SuppressBGN: true,
+		SkipREQ:     true,
+	}
+	cfg := live.DefaultConfig()
+	cfg.N = 4
+	cfg.Drain = 500 * time.Millisecond
+	c := live.New(cfg, core.Factory(opt), workload.Factory(workload.Config{
+		Pattern: workload.UniformRandom, Steps: 4,
+		Think: 40 * des.Millisecond, MsgBytes: 256,
+	}))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Ckpts.CompleteSeqs()) < 2 {
+		t.Fatalf("quiet live run finalized too little: %v", c.Ckpts.CompleteSeqs())
+	}
+	if c.Counter("ctl.CK_REQ") == 0 {
+		t.Fatal("expected control rounds on a quiet live run")
+	}
+}
+
+func TestLiveUncoordinated(t *testing.T) {
+	cfg := live.DefaultConfig()
+	cfg.N = 4
+	c := live.New(cfg, uncoord.Factory(uncoord.Options{Interval: 25 * des.Millisecond}), liveWorkload(40))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < cfg.N; p++ {
+		total += c.Ckpts.Proc(p).Len()
+	}
+	if total <= cfg.N {
+		t.Fatalf("uncoordinated live run took too few checkpoints: %d", total)
+	}
+}
+
+func TestLiveLossyWithReliableTransport(t *testing.T) {
+	// The full concurrent stack under -race: OCSML wrapped in the
+	// retransmission transport over a 15%-loss goroutine network.
+	opt := core.Options{
+		Interval: 40 * des.Millisecond,
+		Timeout:  25 * des.Millisecond,
+		SkipREQ:  true,
+	}
+	cfg := live.DefaultConfig()
+	cfg.N = 4
+	cfg.DropRate = 0.15
+	cfg.Drain = 600 * time.Millisecond
+	c := live.New(cfg,
+		reliable.Factory(core.Factory(opt), reliable.Options{
+			RTO: 10 * des.Millisecond, MaxRTO: 100 * des.Millisecond,
+		}),
+		liveWorkload(50))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter("live.dropped") == 0 {
+		t.Fatal("network dropped nothing at 15%")
+	}
+	if c.Counter("reliable.retransmits") == 0 {
+		t.Fatal("transport never retransmitted")
+	}
+	for _, seq := range c.Ckpts.CompleteSeqs() {
+		if seq == 0 {
+			continue
+		}
+		cut, ok := c.Rec.CutAt(cfg.N, trace.KFinalize, seq)
+		if !ok {
+			continue
+		}
+		if rep := c.Rec.CheckCut(cut); !rep.Consistent() {
+			t.Fatalf("S_%d inconsistent under live loss", seq)
+		}
+	}
+	if len(c.Ckpts.CompleteSeqs()) < 2 {
+		t.Fatalf("too few globals under loss: %v", c.Ckpts.CompleteSeqs())
+	}
+}
+
+func TestLiveManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			opt := core.Options{
+				Interval: 30 * des.Millisecond,
+				Timeout:  20 * des.Millisecond,
+				SkipREQ:  true, SuppressBGN: true, EarlyFlush: true,
+				FlushPoll: 5 * des.Millisecond,
+			}
+			cfg := live.DefaultConfig()
+			cfg.N = 4
+			cfg.Seed = seed
+			c := live.New(cfg, core.Factory(opt), liveWorkload(40))
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, seq := range c.Ckpts.CompleteSeqs() {
+				if seq == 0 {
+					continue
+				}
+				cut, ok := c.Rec.CutAt(cfg.N, trace.KFinalize, seq)
+				if !ok {
+					continue
+				}
+				if rep := c.Rec.CheckCut(cut); !rep.Consistent() {
+					t.Fatalf("S_%d inconsistent", seq)
+				}
+			}
+		})
+	}
+}

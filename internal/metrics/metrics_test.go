@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add should panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("Max = %d", g.Max())
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Fatalf("Count/Sum/Mean = %d/%v/%v", s.Count(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(1); got != 1 {
+		t.Fatalf("p1 = %v", got)
+	}
+	// Observing after a sorted read keeps stats correct.
+	s.Observe(0)
+	if s.Min() != 0 || s.Count() != 6 {
+		t.Fatal("post-sort Observe broken")
+	}
+}
+
+func TestSummaryStddev(t *testing.T) {
+	var s Summary
+	if s.Stddev() != 0 {
+		t.Fatal("stddev of empty should be 0")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestPercentileBoundsPanic(t *testing.T) {
+	var s Summary
+	s.Observe(1)
+	for _, p := range []float64{0, -1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) should panic", p)
+				}
+			}()
+			s.Percentile(p)
+		}()
+	}
+}
+
+func TestConcurrentSafety(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var s Summary
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				s.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || s.Count() != 8000 || g.Value() != 0 {
+		t.Fatalf("concurrent totals wrong: %d %d %d", c.Value(), s.Count(), g.Value())
+	}
+}

@@ -1,0 +1,58 @@
+package protocol
+
+import "testing"
+
+func BenchmarkProcSetUnion(b *testing.B) {
+	const n = 128
+	a := NewProcSet(n)
+	c := NewProcSet(n)
+	for i := 0; i < n; i += 3 {
+		a.Add(i)
+	}
+	for i := 1; i < n; i += 3 {
+		c.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionWith(c)
+	}
+}
+
+func BenchmarkProcSetClone(b *testing.B) {
+	s := NewProcSet(128)
+	for i := 0; i < 128; i += 2 {
+		s.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+func BenchmarkProcSetNextAbsent(b *testing.B) {
+	s := NewProcSet(128)
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.NextAbsent(1) != 100 {
+			b.Fatal("wrong")
+		}
+	}
+}
+
+func BenchmarkProcSetFull(b *testing.B) {
+	s := NewProcSet(128)
+	for i := 0; i < 128; i++ {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Full() {
+			b.Fatal("not full")
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if KindApp.String() != "app" || KindCtl.String() != "ctl" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatalf("unknown kind = %q", Kind(9).String())
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	app := &Envelope{ID: 7, Src: 1, Dst: 2, Kind: KindApp, App: AppMsg{Seq: 3}}
+	if !app.IsApp() {
+		t.Fatal("IsApp")
+	}
+	s := app.String()
+	for _, want := range []string{"app", "1->2", "id=7", "seq=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("app String = %q missing %q", s, want)
+		}
+	}
+	ctl := &Envelope{ID: 9, Src: 0, Dst: 3, Kind: KindCtl, CtlTag: "CK_BGN"}
+	if ctl.IsApp() {
+		t.Fatal("ctl IsApp")
+	}
+	cs := ctl.String()
+	for _, want := range []string{"ctl[CK_BGN]", "0->3", "id=9"} {
+		if !strings.Contains(cs, want) {
+			t.Fatalf("ctl String = %q missing %q", cs, want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcSetBasics(t *testing.T) {
+	s := NewProcSet(10)
+	if !s.Empty() || s.Full() || s.Count() != 0 {
+		t.Fatal("new set should be empty")
+	}
+	s.Add(3)
+	s.Add(7)
+	s.Add(3)
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if !s.Has(3) || !s.Has(7) || s.Has(4) {
+		t.Fatal("membership wrong")
+	}
+	s.Remove(3)
+	if s.Has(3) || s.Count() != 1 {
+		t.Fatal("Remove failed")
+	}
+	if s.String() != "{7}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestProcSetFull(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 130} {
+		s := NewProcSet(n)
+		for i := 0; i < n; i++ {
+			if s.Full() {
+				t.Fatalf("n=%d: full before all added", n)
+			}
+			s.Add(i)
+		}
+		if !s.Full() {
+			t.Fatalf("n=%d: not full after all added", n)
+		}
+	}
+}
+
+func TestProcSetUnion(t *testing.T) {
+	a := NewProcSet(100)
+	b := NewProcSet(100)
+	a.Add(1)
+	a.Add(64)
+	b.Add(2)
+	b.Add(99)
+	a.UnionWith(b)
+	for _, id := range []int{1, 2, 64, 99} {
+		if !a.Has(id) {
+			t.Fatalf("union missing %d", id)
+		}
+	}
+	if a.Count() != 4 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if !b.Has(2) || b.Has(1) {
+		t.Fatal("union modified operand")
+	}
+}
+
+func TestProcSetCloneIndependent(t *testing.T) {
+	a := NewProcSet(8)
+	a.Add(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.Has(2) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Has(1) {
+		t.Fatal("Clone lost member")
+	}
+}
+
+func TestHasBelow(t *testing.T) {
+	s := NewProcSet(10)
+	s.Add(5)
+	if s.HasBelow(5) {
+		t.Fatal("nothing below 5")
+	}
+	if !s.HasBelow(6) {
+		t.Fatal("5 is below 6")
+	}
+	if s.HasBelow(0) {
+		t.Fatal("nothing below 0 ever")
+	}
+}
+
+func TestNextAbsent(t *testing.T) {
+	s := NewProcSet(6)
+	s.Add(1)
+	s.Add(2)
+	if got := s.NextAbsent(1); got != 3 {
+		t.Fatalf("NextAbsent(1) = %d, want 3", got)
+	}
+	if got := s.NextAbsent(0); got != 0 {
+		t.Fatalf("NextAbsent(0) = %d, want 0", got)
+	}
+	for i := 0; i < 6; i++ {
+		s.Add(i)
+	}
+	if got := s.NextAbsent(0); got != -1 {
+		t.Fatalf("NextAbsent on full set = %d, want -1", got)
+	}
+}
+
+func TestProcSetEqual(t *testing.T) {
+	a := NewProcSet(70)
+	b := NewProcSet(70)
+	a.Add(69)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Add(69)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	c := NewProcSet(71)
+	c.Add(69)
+	if a.Equal(c) {
+		t.Fatal("different universes should not be equal")
+	}
+}
+
+func TestProcSetOutOfRangePanics(t *testing.T) {
+	s := NewProcSet(4)
+	for _, fn := range []func(){
+		func() { s.Add(4) },
+		func() { s.Add(-1) },
+		func() { s.Has(4) },
+		func() { s.Remove(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int]int64{1: 1, 8: 1, 9: 2, 64: 8, 65: 9}
+	for n, want := range cases {
+		if got := NewProcSet(n).ByteSize(); got != want {
+			t.Errorf("ByteSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: ProcSet behaves identically to a map-based set model across
+// random operation sequences spanning word boundaries.
+func TestQuickProcSetModel(t *testing.T) {
+	const n = 130
+	f := func(ops []uint16) bool {
+		s := NewProcSet(n)
+		model := map[int]bool{}
+		for _, op := range ops {
+			id := int(op) % n
+			switch (op / uint16(n)) % 3 {
+			case 0:
+				s.Add(id)
+				model[id] = true
+			case 1:
+				s.Remove(id)
+				delete(model, id)
+			case 2:
+				if s.Has(id) != model[id] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for _, id := range s.Members() {
+			if !model[id] {
+				return false
+			}
+		}
+		// Cross-check HasBelow and NextAbsent against the model.
+		for i := 0; i <= n; i += 17 {
+			below := false
+			for j := 0; j < i && j < n; j++ {
+				if model[j] {
+					below = true
+					break
+				}
+			}
+			if i <= n-1 && s.HasBelow(i) != below {
+				return false
+			}
+		}
+		next := func(from int) int {
+			for j := from; j < n; j++ {
+				if !model[j] {
+					return j
+				}
+			}
+			return -1
+		}
+		for _, from := range []int{0, 1, 63, 64, 65, 129} {
+			if s.NextAbsent(from) != next(from) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and idempotent with respect to membership.
+func TestQuickUnionLaws(t *testing.T) {
+	const n = 90
+	mk := func(ids []uint8) ProcSet {
+		s := NewProcSet(n)
+		for _, id := range ids {
+			s.Add(int(id) % n)
+		}
+		return s
+	}
+	f := func(xs, ys []uint8) bool {
+		a1 := mk(xs)
+		a1.UnionWith(mk(ys))
+		b1 := mk(ys)
+		b1.UnionWith(mk(xs))
+		if !a1.Equal(b1) {
+			return false
+		}
+		// Idempotence: a ∪ a == a.
+		c := mk(xs)
+		c.UnionWith(mk(xs))
+		return c.Equal(mk(xs))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

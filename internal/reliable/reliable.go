@@ -1,0 +1,234 @@
+// Package reliable provides a positive-acknowledgement retransmission
+// middleware that wraps any checkpointing protocol so it runs correctly
+// over lossy channels.
+//
+// The paper's system model assumes reliable (if arbitrarily slow and
+// non-FIFO) channels; real deployments provide that with a transport
+// layer exactly like this one. The wrapper:
+//
+//   - intercepts every envelope the inner protocol (or the application)
+//     sends, and retransmits it with exponential backoff until the
+//     destination acknowledges it;
+//   - acknowledges and deduplicates on the receive path, so the inner
+//     protocol sees each envelope exactly once, in possibly-reordered
+//     order — precisely the paper's channel model.
+//
+// Retransmissions reuse the original envelope (same ID, same piggyback):
+// the piggybacked state is the state at first transmission, which is what
+// the paper's correctness argument assumes of a channel that delivers
+// late.
+//
+// The wrapper composes with the engine's live failure injection when the
+// inner protocol supports rollback: transport state is reset at recovery
+// and the engine's log re-injection is delivered outside the transport.
+package reliable
+
+import (
+	"fmt"
+
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+)
+
+// Options tunes the transport.
+type Options struct {
+	// RTO is the initial retransmission timeout.
+	RTO des.Duration
+	// MaxRTO caps the exponential backoff.
+	MaxRTO des.Duration
+}
+
+// DefaultOptions suits the simulated LAN (sub-2ms delivery).
+func DefaultOptions() Options {
+	return Options{RTO: 20 * des.Millisecond, MaxRTO: 500 * des.Millisecond}
+}
+
+const (
+	// timerKind is far above any inner protocol's timer kinds.
+	timerKind = 1 << 20
+	ackTag    = "ACK"
+	ackBytes  = 12
+)
+
+// ack is the acknowledgement payload: the envelope id being confirmed.
+type ack struct {
+	id int64
+}
+
+type pendingMsg struct {
+	env     *protocol.Envelope
+	rto     des.Duration
+	retries int
+}
+
+// Protocol wraps an inner protocol with reliable delivery.
+type Protocol struct {
+	inner protocol.Protocol
+	opt   Options
+	env   protocol.Env // the engine's env
+
+	pending map[int64]*pendingMsg
+	seen    map[int64]bool
+}
+
+// Wrap builds the middleware around an inner protocol instance.
+func Wrap(inner protocol.Protocol, opt Options) *Protocol {
+	if opt.RTO <= 0 {
+		opt = DefaultOptions()
+	}
+	if opt.MaxRTO < opt.RTO {
+		opt.MaxRTO = opt.RTO * 16
+	}
+	return &Protocol{
+		inner:   inner,
+		opt:     opt,
+		pending: map[int64]*pendingMsg{},
+		seen:    map[int64]bool{},
+	}
+}
+
+// Factory wraps a protocol factory.
+func Factory(inner func(i, n int) protocol.Protocol, opt Options) func(i, n int) protocol.Protocol {
+	return func(i, n int) protocol.Protocol { return Wrap(inner(i, n), opt) }
+}
+
+var _ protocol.Protocol = (*Protocol)(nil)
+
+// Name implements protocol.Protocol.
+func (p *Protocol) Name() string { return p.inner.Name() + "+reliable" }
+
+// Start implements protocol.Protocol: the inner protocol receives a
+// wrapped Env whose Send/Broadcast route through the transport.
+func (p *Protocol) Start(env protocol.Env) {
+	p.env = env
+	p.inner.Start(wrapEnv{Env: env, r: p})
+}
+
+// OnAppSend implements protocol.Protocol: the engine transmits the
+// original envelope itself right after this returns; the transport only
+// has to track it for retransmission.
+func (p *Protocol) OnAppSend(e *protocol.Envelope) {
+	p.inner.OnAppSend(e)
+	if e.ID == 0 {
+		panic("reliable: application envelope without id")
+	}
+	p.track(e)
+}
+
+// OnDeliver implements protocol.Protocol: ack, dedupe, pass through.
+func (p *Protocol) OnDeliver(e *protocol.Envelope) {
+	if e.Kind == protocol.KindCtl && e.CtlTag == ackTag {
+		a := e.Payload.(ack)
+		delete(p.pending, a.id)
+		return
+	}
+	// Acknowledge every delivery, including duplicates — the earlier ACK
+	// may itself have been lost.
+	p.env.Send(&protocol.Envelope{
+		Dst: e.Src, Kind: protocol.KindCtl, CtlTag: ackTag,
+		Bytes: ackBytes, Payload: ack{id: e.ID},
+	})
+	if p.seen[e.ID] {
+		p.env.Count("reliable.dup_dropped", 1)
+		return
+	}
+	p.seen[e.ID] = true
+	p.inner.OnDeliver(e)
+}
+
+// OnTimer implements protocol.Protocol: demultiplex transport timers from
+// inner-protocol timers.
+func (p *Protocol) OnTimer(kind, gen int) {
+	if kind != timerKind {
+		p.inner.OnTimer(kind, gen)
+		return
+	}
+	p.retransmit(int64(gen))
+}
+
+// Finish implements protocol.Protocol.
+func (p *Protocol) Finish() { p.inner.Finish() }
+
+// Rollback implements protocol.Rewinder when the inner protocol does:
+// transport state is volatile, so pending retransmissions are discarded
+// (their timers died with the engine epoch; pre-failure envelopes are
+// dropped at the epoch boundary) and the dedup set resets — post-rollback
+// duplicates are caught by the engine's recovery dedup instead. The
+// engine's log re-injection bypasses this transport and is delivered
+// reliably by construction.
+func (p *Protocol) Rollback(seq int) {
+	rew, ok := p.inner.(protocol.Rewinder)
+	if !ok {
+		panic(fmt.Sprintf("reliable: inner protocol %q does not support rollback", p.inner.Name()))
+	}
+	p.pending = map[int64]*pendingMsg{}
+	p.seen = map[int64]bool{}
+	rew.Rollback(seq)
+}
+
+// track registers an envelope for retransmission until acknowledged.
+func (p *Protocol) track(e *protocol.Envelope) {
+	pm := &pendingMsg{env: e, rto: p.opt.RTO}
+	p.pending[e.ID] = pm
+	p.env.SetTimer(pm.rto, timerKind, int(e.ID))
+}
+
+func (p *Protocol) retransmit(id int64) {
+	pm, ok := p.pending[id]
+	if !ok {
+		return // acknowledged
+	}
+	pm.retries++
+	pm.rto *= 2
+	if pm.rto > p.opt.MaxRTO {
+		pm.rto = p.opt.MaxRTO
+	}
+	p.env.Count("reliable.retransmits", 1)
+	p.env.Send(pm.env)
+	p.env.SetTimer(pm.rto, timerKind, int(id))
+}
+
+// Retries reports the retransmission count of an in-flight envelope
+// (tests).
+func (p *Protocol) Retries(id int64) int {
+	if pm, ok := p.pending[id]; ok {
+		return pm.retries
+	}
+	return 0
+}
+
+// PendingCount reports how many envelopes await acknowledgement (tests).
+func (p *Protocol) PendingCount() int { return len(p.pending) }
+
+// Inner exposes the wrapped protocol (tests).
+func (p *Protocol) Inner() protocol.Protocol { return p.inner }
+
+// wrapEnv intercepts the inner protocol's sends.
+type wrapEnv struct {
+	protocol.Env
+	r *Protocol
+}
+
+// Send implements protocol.Env for the inner protocol: transmit through
+// the engine, then track for retransmission.
+func (w wrapEnv) Send(e *protocol.Envelope) {
+	w.Env.Send(e) // assigns ID, traces, transmits
+	if e.ID == 0 {
+		panic(fmt.Sprintf("reliable: engine did not assign an id to %v", e))
+	}
+	w.r.track(e)
+}
+
+// Broadcast implements protocol.Env: per-destination copies, each tracked
+// individually.
+func (w wrapEnv) Broadcast(e *protocol.Envelope) {
+	for dst := 0; dst < w.Env.N(); dst++ {
+		if dst == w.Env.ID() {
+			continue
+		}
+		cp := *e
+		cp.ID = 0
+		cp.Dst = dst
+		w.Send(&cp)
+	}
+}

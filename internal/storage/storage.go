@@ -1,0 +1,157 @@
+// Package storage models the stable storage at the network file server —
+// the shared resource whose contention the paper's algorithm is designed
+// to avoid (paper §1).
+//
+// The server is a single FIFO queueing station: writes are served one at a
+// time at a fixed bandwidth plus a per-operation latency. When several
+// processes checkpoint simultaneously (as synchronous algorithms make them
+// do), their writes queue and each write's completion is delayed — that
+// queueing delay is exactly the "contention for stable storage" the paper
+// talks about, and the server exposes it as metrics.
+package storage
+
+import (
+	"fmt"
+
+	"ocsml/internal/des"
+	"ocsml/internal/metrics"
+)
+
+// Config parameterizes the stable-storage server.
+type Config struct {
+	// Bandwidth is the service rate in bytes per virtual second.
+	Bandwidth int64
+	// Latency is the fixed per-operation overhead (seek, RPC).
+	Latency des.Duration
+}
+
+// DefaultConfig models a 2007-era network file server: ~50 MB/s over NFS
+// with 2 ms per-op latency.
+func DefaultConfig() Config {
+	return Config{Bandwidth: 50 << 20, Latency: 2 * des.Millisecond}
+}
+
+// Write describes a completed stable-storage write, passed to completion
+// callbacks and kept in the server's log.
+type Write struct {
+	Proc   int      // writing process
+	Tag    string   // what was written ("ct", "log", "ckpt", ...)
+	Bytes  int64    // size
+	Arrive des.Time // when the write was enqueued
+	Start  des.Time // when service began
+	End    des.Time // when service completed
+	Queued int      // queue length (incl. in-service) seen on arrival
+}
+
+// Wait is the queueing delay the write suffered before service.
+func (w *Write) Wait() des.Duration { return w.Start - w.Arrive }
+
+// Server is the shared stable-storage server.
+type Server struct {
+	sim *des.Simulator
+	cfg Config
+
+	busyUntil des.Time
+	inFlight  int
+	writes    []Write
+
+	// Metrics.
+	QueueDepth  metrics.Gauge   // current and peak queue depth
+	WaitTime    metrics.Summary // queueing delay per write, seconds
+	ServiceTime metrics.Summary // service time per write, seconds
+	TotalBytes  metrics.Counter
+	WriteCount  metrics.Counter
+	busyTime    des.Duration
+}
+
+// NewServer creates a server attached to the simulator.
+func NewServer(sim *des.Simulator, cfg Config) *Server {
+	if cfg.Bandwidth <= 0 {
+		panic(fmt.Sprintf("storage: non-positive bandwidth %d", cfg.Bandwidth))
+	}
+	if cfg.Latency < 0 {
+		panic("storage: negative latency")
+	}
+	return &Server{sim: sim, cfg: cfg}
+}
+
+// QueueLen reports how many writes are queued or in service right now.
+// Protocols poll this to find "convenient", contention-free flush times.
+func (s *Server) QueueLen() int { return s.inFlight }
+
+// ServiceTimeFor returns how long a write of the given size takes once it
+// reaches the head of the queue.
+func (s *Server) ServiceTimeFor(bytes int64) des.Duration {
+	return s.cfg.Latency + des.Duration(float64(bytes)/float64(s.cfg.Bandwidth)*float64(des.Second))
+}
+
+// Enqueue schedules a write of the given size for the given process. The
+// done callback (may be nil) fires at completion with the full record.
+func (s *Server) Enqueue(proc int, tag string, bytes int64, done func(Write)) {
+	if bytes < 0 {
+		panic("storage: negative write size")
+	}
+	now := s.sim.Now()
+	queued := s.inFlight
+	s.inFlight++
+	s.QueueDepth.Add(1)
+
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	service := s.ServiceTimeFor(bytes)
+	end := start + service
+	s.busyUntil = end
+	s.busyTime += service
+
+	w := Write{
+		Proc: proc, Tag: tag, Bytes: bytes,
+		Arrive: now, Start: start, End: end, Queued: queued,
+	}
+	s.WaitTime.Observe((w.Start - w.Arrive).Seconds())
+	s.ServiceTime.Observe(service.Seconds())
+	s.TotalBytes.Add(bytes)
+	s.WriteCount.Inc()
+
+	s.sim.At(end, func() {
+		s.inFlight--
+		s.QueueDepth.Add(-1)
+		s.writes = append(s.writes, w)
+		if done != nil {
+			done(w)
+		}
+	})
+}
+
+// Writes returns the completed writes in completion order.
+func (s *Server) Writes() []Write {
+	out := make([]Write, len(s.writes))
+	copy(out, s.writes)
+	return out
+}
+
+// Utilization returns the fraction of virtual time [0, now] the server was
+// busy. Values above 1 cannot occur (the server is a single station).
+func (s *Server) Utilization() float64 {
+	now := s.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := s.busyTime
+	// Work scheduled beyond now has not actually been performed yet.
+	if s.busyUntil > now {
+		busy -= s.busyUntil - now
+	}
+	if busy < 0 {
+		busy = 0
+	}
+	return float64(busy) / float64(now)
+}
+
+// PeakQueue returns the maximum number of simultaneously outstanding
+// writes observed — the paper's storage-contention headline number.
+func (s *Server) PeakQueue() int64 { return s.QueueDepth.Max() }
+
+// MeanWait returns the average queueing delay in virtual seconds.
+func (s *Server) MeanWait() float64 { return s.WaitTime.Mean() }

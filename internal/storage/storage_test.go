@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ocsml/internal/des"
+)
+
+// testServer uses bandwidth 1000 bytes/s and zero latency so service time
+// of 1000 bytes is exactly 1 virtual second.
+func testServer(sim *des.Simulator) *Server {
+	return NewServer(sim, Config{Bandwidth: 1000, Latency: 0})
+}
+
+func TestSingleWrite(t *testing.T) {
+	sim := des.New(1)
+	s := testServer(sim)
+	var got Write
+	s.Enqueue(3, "ckpt", 500, func(w Write) { got = w })
+	sim.Run()
+	if got.Proc != 3 || got.Tag != "ckpt" {
+		t.Fatalf("record = %+v", got)
+	}
+	if got.Start != 0 || got.End != des.Second/2 {
+		t.Fatalf("timing = %v..%v", got.Start, got.End)
+	}
+	if got.Wait() != 0 {
+		t.Fatalf("Wait = %v", got.Wait())
+	}
+	if s.WriteCount.Value() != 1 || s.TotalBytes.Value() != 500 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	sim := des.New(1)
+	s := testServer(sim)
+	var ends []des.Time
+	for i := 0; i < 3; i++ {
+		s.Enqueue(i, "ckpt", 1000, func(w Write) { ends = append(ends, w.End) })
+	}
+	if s.QueueLen() != 3 {
+		t.Fatalf("QueueLen = %d", s.QueueLen())
+	}
+	sim.Run()
+	want := []des.Time{des.Second, 2 * des.Second, 3 * des.Second}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if s.PeakQueue() != 3 {
+		t.Fatalf("PeakQueue = %d", s.PeakQueue())
+	}
+	// Waits: 0s, 1s, 2s → mean 1s.
+	if got := s.MeanWait(); got != 1.0 {
+		t.Fatalf("MeanWait = %v", got)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatal("queue should drain")
+	}
+}
+
+func TestLatencyAddsPerOp(t *testing.T) {
+	sim := des.New(1)
+	s := NewServer(sim, Config{Bandwidth: 1000, Latency: des.Millisecond})
+	var end des.Time
+	s.Enqueue(0, "x", 0, func(w Write) { end = w.End })
+	sim.Run()
+	if end != des.Millisecond {
+		t.Fatalf("end = %v, want 1ms", end)
+	}
+}
+
+func TestStaggeredWritesDoNotQueue(t *testing.T) {
+	sim := des.New(1)
+	s := testServer(sim)
+	for i := 0; i < 4; i++ {
+		i := i
+		sim.At(des.Time(i)*2*des.Second, func() {
+			s.Enqueue(i, "ckpt", 1000, nil)
+		})
+	}
+	sim.Run()
+	if s.PeakQueue() != 1 {
+		t.Fatalf("PeakQueue = %d, want 1 (no contention)", s.PeakQueue())
+	}
+	if got := s.MeanWait(); got != 0 {
+		t.Fatalf("MeanWait = %v, want 0", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	sim := des.New(1)
+	s := testServer(sim)
+	s.Enqueue(0, "x", 1000, nil) // busy [0, 1s]
+	sim.At(2*des.Second, func() {})
+	sim.Run()
+	// Busy 1s of 2s total.
+	if got := s.Utilization(); got != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestWritesLog(t *testing.T) {
+	sim := des.New(1)
+	s := testServer(sim)
+	s.Enqueue(0, "a", 100, nil)
+	s.Enqueue(1, "b", 100, nil)
+	sim.Run()
+	ws := s.Writes()
+	if len(ws) != 2 || ws[0].Tag != "a" || ws[1].Tag != "b" {
+		t.Fatalf("writes = %+v", ws)
+	}
+	if ws[1].Queued != 1 {
+		t.Fatalf("second write saw queue %d, want 1", ws[1].Queued)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	sim := des.New(1)
+	for _, cfg := range []Config{{Bandwidth: 0}, {Bandwidth: 10, Latency: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewServer(sim, cfg)
+		}()
+	}
+	s := testServer(sim)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size should panic")
+		}
+	}()
+	s.Enqueue(0, "x", -1, nil)
+}
+
+// Property: FIFO service — completions occur in arrival order, writes
+// never overlap, and every wait is nonnegative.
+func TestQuickFIFOInvariants(t *testing.T) {
+	f := func(arrivals []uint16) bool {
+		sim := des.New(9)
+		s := NewServer(sim, Config{Bandwidth: 500, Latency: des.Millisecond})
+		var done []Write
+		for i, a := range arrivals {
+			i := i
+			at := des.Time(a) * des.Millisecond
+			size := int64(a%2000) + 1
+			sim.At(at, func() {
+				s.Enqueue(i%8, "w", size, func(w Write) { done = append(done, w) })
+			})
+		}
+		sim.Run()
+		if len(done) != len(arrivals) {
+			return false
+		}
+		for i := 1; i < len(done); i++ {
+			prev, cur := done[i-1], done[i]
+			if cur.Arrive < prev.Arrive {
+				return false // completion order must follow arrival order
+			}
+			if cur.Start < prev.End {
+				return false // no overlap
+			}
+			if cur.Wait() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceTimeFor(t *testing.T) {
+	sim := des.New(1)
+	s := NewServer(sim, Config{Bandwidth: 1 << 20, Latency: des.Millisecond})
+	if got := s.ServiceTimeFor(1 << 20); got != des.Second+des.Millisecond {
+		t.Fatalf("ServiceTimeFor(1MiB) = %v", got)
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := nb()
+	b.send(0, 1, 1)
+	b.recv(1, 0, 1)
+	b.ev(KTentative, 1, -1, 0, 2)
+	b.ev(KFinalize, 1, -1, 0, 2)
+	b.ev(KCtlSend, 0, 1, 9, -1)
+	events := b.r.Events()
+	events[4].Tag = "CK_BGN"
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len %d != %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"kind":"martian"}`)); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{garbage`)); err == nil {
+		t.Fatal("malformed json should error")
+	}
+	evs, err := ReadJSON(strings.NewReader(""))
+	if err != nil || len(evs) != 0 {
+		t.Fatal("empty input should give empty trace")
+	}
+}

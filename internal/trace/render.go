@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws an ASCII space-time diagram of the trace: one lane per
+// process, events in global order left to right. Application messages are
+// labeled with their envelope id at both endpoints so arrows can be read
+// off (send sN / receive rN). Checkpoint events appear as:
+//
+//	[Tk] tentative checkpoint with sequence k
+//	[Fk] finalization of checkpoint k
+//	[Ck] monolithic checkpoint k (baselines)
+//	[!k] forced checkpoint k
+//
+// It is intentionally simple — meant for examples, small scenario tests
+// and debugging, not for large traces.
+func Render(events []Event, n int) string {
+	// Assign each event a column. To keep diagrams narrow, consecutive
+	// events on *different* processes may share a column only if they
+	// are unrelated; simplest faithful layout: one column per event.
+	cols := len(events)
+	if cols == 0 {
+		return "(empty trace)\n"
+	}
+	// Build per-event labels.
+	labels := make([]string, cols)
+	procs := make([]int, cols)
+	// Renumber message ids to small integers in order of first use.
+	msgNum := map[int64]int{}
+	nextMsg := 1
+	num := func(id int64) int {
+		if v, ok := msgNum[id]; ok {
+			return v
+		}
+		msgNum[id] = nextMsg
+		nextMsg++
+		return msgNum[id]
+	}
+	for i, e := range events {
+		procs[i] = e.Proc
+		switch e.Kind {
+		case KSend:
+			labels[i] = fmt.Sprintf("s%d", num(e.MsgID))
+		case KRecv:
+			labels[i] = fmt.Sprintf("r%d", num(e.MsgID))
+		case KCtlSend:
+			labels[i] = fmt.Sprintf("cs:%s", shortTag(e.Tag))
+		case KCtlRecv:
+			labels[i] = fmt.Sprintf("cr:%s", shortTag(e.Tag))
+		case KTentative:
+			labels[i] = fmt.Sprintf("[T%d]", e.Seq)
+		case KFinalize:
+			labels[i] = fmt.Sprintf("[F%d]", e.Seq)
+		case KCheckpoint:
+			labels[i] = fmt.Sprintf("[C%d]", e.Seq)
+		case KForced:
+			labels[i] = fmt.Sprintf("[!%d]", e.Seq)
+		case KFail:
+			labels[i] = "[X]"
+		case KRestore:
+			labels[i] = fmt.Sprintf("[R%d]", e.Seq)
+		default:
+			labels[i] = "?"
+		}
+	}
+	width := make([]int, cols)
+	for i, l := range labels {
+		width[i] = len([]rune(l)) + 1
+	}
+	var b strings.Builder
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, "P%-2d |", p)
+		for i := range events {
+			cell := strings.Repeat("-", width[i])
+			if procs[i] == p {
+				l := labels[i]
+				cell = l + strings.Repeat("-", width[i]-len([]rune(l)))
+			}
+			b.WriteString(cell)
+		}
+		b.WriteString(">\n")
+	}
+	return b.String()
+}
+
+func shortTag(tag string) string {
+	switch tag {
+	case "CK_BGN":
+		return "B"
+	case "CK_REQ":
+		return "Q"
+	case "CK_END":
+		return "E"
+	case "marker":
+		return "M"
+	default:
+		if len(tag) > 3 {
+			return tag[:3]
+		}
+		return tag
+	}
+}
+
+// Summarize returns per-kind event counts as a deterministic string, handy
+// in examples.
+func Summarize(events []Event) string {
+	counts := map[Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	kinds := make([]int, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", Kind(k), counts[Kind(k)]))
+	}
+	return strings.Join(parts, " ")
+}

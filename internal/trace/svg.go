@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ocsml/internal/des"
+)
+
+// RenderSVG draws a self-contained SVG space-time diagram of the trace:
+// one horizontal lane per process (time flows left to right), application
+// messages as solid arrows, control messages as dashed gray arrows,
+// tentative checkpoints as hollow squares, finalizations/monolithic
+// checkpoints as filled squares, forced checkpoints in red, and
+// failures/restores as crosses. Useful for small runs (hundreds of
+// events); the output needs no external resources.
+func RenderSVG(events []Event, n int) string {
+	const (
+		width   = 1200.0
+		laneGap = 64.0
+		marginX = 70.0
+		marginY = 40.0
+		footer  = 30.0
+	)
+	height := marginY*2 + laneGap*float64(maxInt(n-1, 0)) + footer
+
+	var tMin, tMax des.Time
+	first := true
+	for _, e := range events {
+		if first || e.T < tMin {
+			tMin = e.T
+		}
+		if first || e.T > tMax {
+			tMax = e.T
+		}
+		first = false
+	}
+	span := float64(tMax - tMin)
+	if span <= 0 {
+		span = 1
+	}
+	x := func(t des.Time) float64 {
+		return marginX + (width-2*marginX)*float64(t-tMin)/span
+	}
+	y := func(proc int) float64 { return marginY + laneGap*float64(proc) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="monospace" font-size="11">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Lanes.
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#bbb"/>`+"\n",
+			marginX, y(p), width-marginX, y(p))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">P%d</text>`+"\n",
+			marginX-8, y(p)+4, p)
+	}
+	// Time axis label.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#555">%v</text>`+"\n", marginX, height-8, tMin)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" fill="#555">%v</text>`+"\n",
+		width-marginX, height-8, tMax)
+
+	// Message arrows: pair sends with receives by MsgID (last occurrence
+	// wins, matching the checker's semantics).
+	type endpoint struct {
+		t    des.Time
+		proc int
+	}
+	sends := map[int64]endpoint{}
+	recvs := map[int64]endpoint{}
+	ctl := map[int64]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case KSend:
+			sends[e.MsgID] = endpoint{e.T, e.Proc}
+		case KRecv:
+			recvs[e.MsgID] = endpoint{e.T, e.Proc}
+		case KCtlSend:
+			sends[e.MsgID] = endpoint{e.T, e.Proc}
+			ctl[e.MsgID] = true
+		case KCtlRecv:
+			recvs[e.MsgID] = endpoint{e.T, e.Proc}
+			ctl[e.MsgID] = true
+		}
+	}
+	// Deterministic order: walk events, draw each message once.
+	drawn := map[int64]bool{}
+	for _, e := range events {
+		if e.Kind != KSend && e.Kind != KCtlSend {
+			continue
+		}
+		if drawn[e.MsgID] {
+			continue
+		}
+		drawn[e.MsgID] = true
+		s := sends[e.MsgID]
+		r, ok := recvs[e.MsgID]
+		if !ok {
+			continue // never delivered
+		}
+		stroke, dash := "#2a6fdb", ""
+		if ctl[e.MsgID] {
+			stroke, dash = "#999", ` stroke-dasharray="4 3"`
+		}
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"%s marker-end="url(#arr)"/>`+"\n",
+			x(s.t), y(s.proc), x(r.t), y(r.proc), stroke, dash)
+	}
+
+	// Checkpoint and failure markers on top of the arrows.
+	for _, e := range events {
+		ex, ey := x(e.T), y(e.Proc)
+		switch e.Kind {
+		case KTentative:
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="10" height="10" fill="white" stroke="#0a8a0a" stroke-width="2"/>`+"\n", ex-5, ey-5)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#0a8a0a">T%d</text>`+"\n", ex-6, ey-9, e.Seq)
+		case KFinalize, KCheckpoint:
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="10" height="10" fill="#0a8a0a"/>`+"\n", ex-5, ey-5)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#0a8a0a">%s%d</text>`+"\n", ex-6, ey+20, markLabel(e.Kind), e.Seq)
+		case KForced:
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="10" height="10" fill="#c22"/>`+"\n", ex-5, ey-5)
+		case KFail:
+			fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#c22" font-size="16">✗</text>`+"\n", ex-5, ey+5)
+		case KRestore:
+			fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#b8860b" font-size="13">↺%d</text>`+"\n", ex-5, ey+5, e.Seq)
+		}
+	}
+
+	// Arrowhead marker definition.
+	b.WriteString(`<defs><marker id="arr" markerWidth="8" markerHeight="8" refX="7" refY="4" orient="auto"><path d="M0,0 L8,4 L0,8 z" fill="context-stroke"/></marker></defs>` + "\n")
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func markLabel(k Kind) string {
+	if k == KFinalize {
+		return "F"
+	}
+	return "C"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVG(t *testing.T) {
+	b := nb()
+	b.send(0, 1, 1)
+	b.recv(1, 0, 1)
+	b.ev(KTentative, 1, -1, 0, 1)
+	b.ev(KFinalize, 1, -1, 0, 1)
+	b.ev(KCtlSend, 1, 0, 9, -1)
+	b.ev(KCtlRecv, 0, 1, 9, -1)
+	b.ev(KForced, 0, -1, 0, 2)
+	b.ev(KFail, 0, -1, 0, -1)
+	b.ev(KRestore, 0, -1, 0, 1)
+	out := RenderSVG(b.r.Events(), 2)
+	for _, want := range []string{
+		"<svg", "</svg>", ">P0<", ">P1<",
+		`stroke="#2a6fdb"`,      // app message arrow
+		`stroke-dasharray`,      // control message
+		`stroke="#0a8a0a"`,      // tentative marker
+		`fill="#0a8a0a"`,        // finalize marker
+		`fill="#c22"`,           // forced marker
+		"✗",                     // failure
+		"↺",                     // restore
+		`marker-end="url(#arr)`, // arrowheads
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Deterministic.
+	if out != RenderSVG(b.r.Events(), 2) {
+		t.Fatal("RenderSVG not deterministic")
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	out := RenderSVG(nil, 3)
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, ">P2<") {
+		t.Fatal("empty SVG should still draw lanes")
+	}
+}

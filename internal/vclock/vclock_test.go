@@ -1,0 +1,174 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOrdering(t *testing.T) {
+	a := New(3)
+	a.Tick(0) // a = [1,0,0]
+	b := a.Clone()
+	b.Tick(1) // b = [1,1,0]
+	if !a.HappenedBefore(b) {
+		t.Fatal("a should happen before b")
+	}
+	if b.Compare(a) != After {
+		t.Fatal("b should be after a")
+	}
+	c := New(3)
+	c.Tick(2) // c = [0,0,1]
+	if !a.ConcurrentWith(c) || !c.ConcurrentWith(a) {
+		t.Fatal("a and c should be concurrent")
+	}
+	if a.Compare(a.Clone()) != Equal {
+		t.Fatal("clone should be equal")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := VC{3, 1, 0}
+	b := VC{1, 5, 2}
+	a.Merge(b)
+	want := VC{3, 5, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Merge = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(2).Merge(New(3)) },
+		func() { New(2).Compare(New(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("mismatched lengths should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 7}).String(); got != "[1,0,7]" {
+		t.Fatalf("String = %q", got)
+	}
+	if Concurrent.String() != "concurrent" || Before.String() != "before" {
+		t.Fatal("Ordering.String wrong")
+	}
+}
+
+// simulate runs a random message-passing history over n processes and
+// returns the event clocks. Events: local tick or message (sender ticks,
+// receiver merges+ticks).
+func simulate(n int, ops []uint16) []VC {
+	clocks := make([]VC, n)
+	for i := range clocks {
+		clocks[i] = New(n)
+	}
+	var events []VC
+	for _, op := range ops {
+		p := int(op) % n
+		q := int(op/uint16(n)) % n
+		if p == q {
+			clocks[p].Tick(p)
+		} else {
+			clocks[p].Tick(p) // send event at p
+			events = append(events, clocks[p].Clone())
+			clocks[q].Merge(clocks[p])
+			clocks[q].Tick(q) // receive event at q
+		}
+		events = append(events, clocks[p].Clone())
+	}
+	return events
+}
+
+// Property: Compare is antisymmetric and transitive over clocks generated
+// by a legal execution.
+func TestQuickPartialOrderLaws(t *testing.T) {
+	f := func(ops []uint16) bool {
+		evs := simulate(4, ops)
+		if len(evs) > 40 {
+			evs = evs[:40]
+		}
+		for i := range evs {
+			for j := range evs {
+				cij := evs[i].Compare(evs[j])
+				cji := evs[j].Compare(evs[i])
+				// Antisymmetry.
+				switch cij {
+				case Before:
+					if cji != After {
+						return false
+					}
+				case After:
+					if cji != Before {
+						return false
+					}
+				case Equal:
+					if cji != Equal {
+						return false
+					}
+				case Concurrent:
+					if cji != Concurrent {
+						return false
+					}
+				}
+				// Transitivity of Before.
+				if cij == Before {
+					for k := range evs {
+						if evs[j].Compare(evs[k]) == Before &&
+							evs[i].Compare(evs[k]) != Before {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is the least upper bound: both operands are <= the
+// merge, and any upper bound dominates it.
+func TestQuickMergeIsLUB(t *testing.T) {
+	f := func(xs, ys [5]uint8) bool {
+		a, b := New(5), New(5)
+		for i := 0; i < 5; i++ {
+			a[i] = int64(xs[i])
+			b[i] = int64(ys[i])
+		}
+		m := a.Clone()
+		m.Merge(b)
+		if a.Compare(m) == After || b.Compare(m) == After {
+			return false
+		}
+		for i := range m {
+			if m[i] != max64(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+)
+
+// BSP is a bulk-synchronous-parallel application: in every superstep each
+// process computes, sends a halo message to each grid neighbor, and
+// advances only after receiving one halo per neighbor — the classic HPC
+// stencil pattern (the kind of computation the paper's periodic
+// checkpointing targets). Unlike the free-running synthetic workloads,
+// BSP progress couples processes tightly, so a blocking checkpoint on one
+// process stalls its neighbors transitively.
+//
+// Halo accounting is purely count-based, which is correct even over
+// non-FIFO channels: each neighbor sends exactly one halo per superstep,
+// so any len(neighbors) arrivals release the barrier and any surplus
+// carries into the next one.
+type BSP struct {
+	cfg Config
+	id  int
+	n   int
+
+	neighbors []int
+	step      int64 // completed supersteps
+	waiting   bool  // halos sent, waiting at the barrier
+	received  int   // halos counted toward the current barrier
+	done      bool
+}
+
+var _ protocol.RewindableApp = (*BSP)(nil)
+
+// BSPFactory builds BSP applications. cfg.Steps is the superstep count;
+// cfg.Think the per-superstep compute time.
+func BSPFactory(cfg Config) func(i, n int) protocol.App {
+	return func(i, n int) protocol.App {
+		return &BSP{cfg: cfg, id: i, n: n}
+	}
+}
+
+// Start implements protocol.App.
+func (a *BSP) Start(ctx protocol.AppCtx) {
+	if a.n < 2 {
+		panic("workload: BSP needs at least 2 processes")
+	}
+	a.neighbors = meshNeighbors(a.id, a.n)
+	if a.cfg.Steps == 0 {
+		a.done = true
+		ctx.Done()
+		return
+	}
+	ctx.After(a.think(ctx), func() { a.compute(ctx) })
+}
+
+func (a *BSP) think(ctx protocol.AppCtx) des.Duration {
+	t := a.cfg.Think
+	if t <= 0 {
+		return des.Microsecond
+	}
+	half := int64(t) / 2
+	return des.Duration(half + ctx.Rand().Int63n(int64(t)))
+}
+
+// compute finishes the local phase of the current superstep, sends the
+// halo exchange, and enters the barrier. Halos that arrived during the
+// compute phase already count toward it.
+func (a *BSP) compute(ctx protocol.AppCtx) {
+	if a.done || a.waiting {
+		return
+	}
+	ctx.DoWork(1)
+	for _, nb := range a.neighbors {
+		ctx.Send(nb, protocol.AppMsg{Bytes: a.cfg.MsgBytes})
+	}
+	a.waiting = true
+	a.maybeAdvance(ctx)
+}
+
+// OnMessage implements protocol.App: one halo from a neighbor. Over
+// non-FIFO channels a halo for the next superstep can arrive early; the
+// count simply carries over.
+func (a *BSP) OnMessage(ctx protocol.AppCtx, src int, m protocol.AppMsg) {
+	ctx.DoWork(1)
+	if a.done {
+		return
+	}
+	a.received++
+	a.maybeAdvance(ctx)
+}
+
+func (a *BSP) maybeAdvance(ctx protocol.AppCtx) {
+	if !a.waiting || a.received < len(a.neighbors) {
+		return
+	}
+	a.received -= len(a.neighbors)
+	a.waiting = false
+	a.step++
+	if a.step >= a.cfg.Steps {
+		a.done = true
+		ctx.Done()
+		return
+	}
+	ctx.After(a.think(ctx), func() { a.compute(ctx) })
+}
+
+// bspProgress packs the full barrier micro-state into the opaque
+// RewindableApp progress value: completed steps, the waiting flag, and
+// the halo count toward the current barrier (< 128 neighbors).
+func bspProgress(step int64, waiting bool, received int) int64 {
+	v := step << 8
+	if waiting {
+		v |= 1 << 7
+	}
+	return v | int64(received&0x7f)
+}
+
+// Progress implements protocol.RewindableApp.
+func (a *BSP) Progress() int64 { return bspProgress(a.step, a.waiting, a.received) }
+
+// Restore implements protocol.RewindableApp: resume from the exact
+// barrier micro-state at the cut. If the process was waiting, its halos
+// for the current superstep were already sent (the recovery layer
+// re-injects the logged copies), so it must NOT recompute — it just waits
+// for the barrier to refill.
+func (a *BSP) Restore(ctx protocol.AppCtx, progress int64) {
+	a.step = progress >> 8
+	a.waiting = progress&(1<<7) != 0
+	a.received = int(progress & 0x7f)
+	if a.step >= a.cfg.Steps {
+		a.done = true
+		ctx.Done()
+		return
+	}
+	a.done = false
+	if a.waiting {
+		a.maybeAdvance(ctx)
+		return
+	}
+	ctx.After(a.think(ctx), func() { a.compute(ctx) })
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+)
+
+// bspHarness runs a tiny 2-process BSP by short-circuiting sends into the
+// peer's OnMessage (synchronous, in-order).
+func TestBSPTwoProcessLockstep(t *testing.T) {
+	cfg := Config{Steps: 5, Think: des.Millisecond, MsgBytes: 64}
+	a := BSPFactory(cfg)(0, 2).(*BSP)
+	b := BSPFactory(cfg)(1, 2).(*BSP)
+	actx, bctx := newFake(0, 2), newFake(1, 2)
+	a.Start(actx)
+	b.Start(bctx)
+
+	// Drive both by alternately draining pending callbacks and cross-
+	// delivering sends.
+	deliver := func() bool {
+		progressed := false
+		for len(actx.pending) > 0 {
+			fn := actx.pending[0]
+			actx.pending = actx.pending[1:]
+			fn()
+			progressed = true
+		}
+		for len(bctx.pending) > 0 {
+			fn := bctx.pending[0]
+			bctx.pending = bctx.pending[1:]
+			fn()
+			progressed = true
+		}
+		for _, dst := range actx.sends {
+			if dst != 1 {
+				t.Fatalf("P0 sent to %d", dst)
+			}
+			b.OnMessage(bctx, 0, protocol.AppMsg{})
+			progressed = true
+		}
+		actx.sends = nil
+		for range bctx.sends {
+			a.OnMessage(actx, 1, protocol.AppMsg{})
+			progressed = true
+		}
+		bctx.sends = nil
+		return progressed
+	}
+	for i := 0; i < 100 && deliver(); i++ {
+	}
+	if !actx.done || !bctx.done {
+		t.Fatalf("BSP did not finish: done=%v,%v steps=%d,%d", actx.done, bctx.done, a.step, b.step)
+	}
+	if a.step != 5 || b.step != 5 {
+		t.Fatalf("steps = %d,%d, want 5,5", a.step, b.step)
+	}
+	// Progress encodes the micro-state: both finished all 5 supersteps
+	// with empty barriers.
+	if a.Progress() != bspProgress(5, false, 0) || b.Progress() != bspProgress(5, false, 0) {
+		t.Fatalf("Progress wrong: %d %d", a.Progress(), b.Progress())
+	}
+}
+
+func TestBSPZeroSteps(t *testing.T) {
+	app := BSPFactory(Config{})(0, 4)
+	ctx := newFake(0, 4)
+	app.Start(ctx)
+	if !ctx.done {
+		t.Fatal("zero-step BSP should finish immediately")
+	}
+}
+
+func TestBSPRestore(t *testing.T) {
+	cfg := Config{Steps: 10, Think: des.Millisecond}
+	app := BSPFactory(cfg)(0, 4).(*BSP)
+	ctx := newFake(0, 4)
+	app.Start(ctx)
+
+	// Restore to "7 steps done, not waiting, no halos counted".
+	app.Restore(ctx, bspProgress(7, false, 0))
+	if app.step != 7 || app.waiting || ctx.done {
+		t.Fatalf("restore mid-run wrong: %+v", app)
+	}
+	if app.Progress() != bspProgress(7, false, 0) {
+		t.Fatal("Progress round trip failed")
+	}
+
+	// Restore to "waiting at the barrier with 1 of 2 halos": it must not
+	// recompute (halos were already sent) and must advance when the
+	// missing halo arrives.
+	app.Restore(ctx, bspProgress(3, true, 1))
+	if !app.waiting || app.step != 3 || app.received != 1 {
+		t.Fatalf("waiting restore wrong: %+v", app)
+	}
+	sendsBefore := len(ctx.sends)
+	app.OnMessage(ctx, 1, protocol.AppMsg{}) // completes the 2-neighbor barrier
+	if app.step != 4 {
+		t.Fatalf("barrier did not release: step=%d", app.step)
+	}
+	if len(ctx.sends) != sendsBefore {
+		t.Fatal("restore recomputed and re-sent halos")
+	}
+
+	// Restore at the quota finishes immediately.
+	app.Restore(ctx, bspProgress(10, false, 0))
+	if !ctx.done {
+		t.Fatal("restore at quota should finish")
+	}
+}
+
+func TestBSPTooFewProcsPanics(t *testing.T) {
+	app := BSPFactory(Config{Steps: 1})(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=1 should panic")
+		}
+	}()
+	app.Start(newFake(0, 1))
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"ocsml/internal/des"
+)
+
+// This file makes workloads file-driven: a "script" is the full send plan
+// of a computation, one JSON object per line. It is the substitution
+// point for production message traces — convert a real trace into this
+// format and replay it under any of the protocols.
+
+// scriptLine is the on-disk form of one planned send.
+type scriptLine struct {
+	P     int   `json:"p"`               // sending process
+	At    int64 `json:"at"`              // virtual send time, nanoseconds
+	Dst   int   `json:"dst"`             // destination process
+	Bytes int64 `json:"bytes,omitempty"` // payload size
+}
+
+// WriteScript streams the plans as JSON Lines, ordered by process then
+// time (deterministic output).
+func WriteScript(w io.Writer, plans map[int][]ScriptedSend) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	procs := make([]int, 0, len(plans))
+	for p := range plans {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		for _, s := range plans[p] {
+			if err := enc.Encode(scriptLine{P: p, At: int64(s.At), Dst: s.Dst, Bytes: s.Bytes}); err != nil {
+				return fmt.Errorf("workload: encode script line: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadScript parses a JSON Lines script written by WriteScript (or
+// converted from an external trace). Within each process the sends are
+// sorted by time.
+func ReadScript(r io.Reader) (map[int][]ScriptedSend, error) {
+	dec := json.NewDecoder(r)
+	plans := map[int][]ScriptedSend{}
+	line := 0
+	for {
+		var sl scriptLine
+		if err := dec.Decode(&sl); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: script line %d: %w", line+1, err)
+		}
+		line++
+		if sl.P < 0 || sl.Dst < 0 || sl.P == sl.Dst {
+			return nil, fmt.Errorf("workload: script line %d: invalid endpoints %d->%d", line, sl.P, sl.Dst)
+		}
+		if sl.At < 0 {
+			return nil, fmt.Errorf("workload: script line %d: negative time", line)
+		}
+		plans[sl.P] = append(plans[sl.P], ScriptedSend{At: des.Time(sl.At), Dst: sl.Dst, Bytes: sl.Bytes})
+	}
+	for p := range plans {
+		sends := plans[p]
+		sort.Slice(sends, func(i, j int) bool { return sends[i].At < sends[j].At })
+	}
+	return plans, nil
+}
+
+// MaxProc returns the highest process id referenced by the plans (so a
+// caller can size the cluster: N must exceed it).
+func MaxProc(plans map[int][]ScriptedSend) int {
+	maxID := 0
+	for p, sends := range plans {
+		if p > maxID {
+			maxID = p
+		}
+		for _, s := range sends {
+			if s.Dst > maxID {
+				maxID = s.Dst
+			}
+		}
+	}
+	return maxID
+}
+
+// GenerateScript synthesizes a send plan with the same distributions the
+// synthetic workload uses (think-time draws, pattern destinations), but
+// fully materialized so it can be saved, inspected, edited and replayed.
+// Replies (client-server) and barrier coupling (BSP) are reactive and
+// cannot be pre-scripted; those patterns are rejected.
+func GenerateScript(cfg Config, n int, seed int64) (map[int][]ScriptedSend, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 processes")
+	}
+	switch cfg.Pattern {
+	case ClientServer, BSPStencil:
+		return nil, fmt.Errorf("workload: pattern %v is reactive and cannot be scripted", cfg.Pattern)
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("workload: Steps must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	think := func() des.Duration {
+		t := cfg.Think
+		if t <= 0 {
+			return des.Microsecond
+		}
+		return des.Duration(int64(t)/2 + rng.Int63n(int64(t)))
+	}
+	plans := map[int][]ScriptedSend{}
+	for p := 0; p < n; p++ {
+		var at des.Time
+		nb := meshNeighbors(p, n)
+		nbIdx := 0
+		for s := int64(0); s < cfg.Steps; s++ {
+			at += think()
+			dst := -1
+			switch cfg.Pattern {
+			case Ring:
+				dst = (p + 1) % n
+			case Mesh:
+				dst = nb[nbIdx%len(nb)]
+				nbIdx++
+			default: // UniformRandom, Bursty
+				dst = rng.Intn(n - 1)
+				if dst >= p {
+					dst++
+				}
+			}
+			plans[p] = append(plans[p], ScriptedSend{At: at, Dst: dst, Bytes: cfg.MsgBytes})
+			if cfg.Pattern == Bursty && cfg.BurstLen > 0 && (s+1)%cfg.BurstLen == 0 {
+				at += cfg.BurstIdle
+			}
+		}
+	}
+	return plans, nil
+}

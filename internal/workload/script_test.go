@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ocsml/internal/des"
+)
+
+func TestScriptRoundTrip(t *testing.T) {
+	plans := map[int][]ScriptedSend{
+		0: {{At: 5 * des.Millisecond, Dst: 1, Bytes: 100}, {At: 9 * des.Millisecond, Dst: 2, Bytes: 50}},
+		2: {{At: des.Millisecond, Dst: 0, Bytes: 10}},
+	}
+	var buf bytes.Buffer
+	if err := WriteScript(&buf, plans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScript(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[2]) != 1 {
+		t.Fatalf("round trip shape wrong: %+v", got)
+	}
+	if got[0][0] != plans[0][0] || got[0][1] != plans[0][1] || got[2][0] != plans[2][0] {
+		t.Fatalf("round trip values wrong: %+v", got)
+	}
+}
+
+func TestReadScriptValidates(t *testing.T) {
+	cases := []string{
+		`{"p":1,"at":5,"dst":1}`,  // self-send
+		`{"p":-1,"at":5,"dst":1}`, // negative proc
+		`{"p":0,"at":-5,"dst":1}`, // negative time
+		`{"p":0,"at":`,            // malformed
+	}
+	for _, c := range cases {
+		if _, err := ReadScript(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q should error", c)
+		}
+	}
+	plans, err := ReadScript(strings.NewReader(""))
+	if err != nil || len(plans) != 0 {
+		t.Fatal("empty script should parse to empty plans")
+	}
+}
+
+func TestReadScriptSortsByTime(t *testing.T) {
+	in := `{"p":0,"at":9,"dst":1}
+{"p":0,"at":3,"dst":1}
+{"p":0,"at":6,"dst":1}`
+	plans, err := ReadScript(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := plans[0]
+	for i := 1; i < len(sends); i++ {
+		if sends[i-1].At > sends[i].At {
+			t.Fatalf("not sorted: %+v", sends)
+		}
+	}
+}
+
+func TestMaxProc(t *testing.T) {
+	plans := map[int][]ScriptedSend{1: {{Dst: 7}}, 3: {{Dst: 0}}}
+	if got := MaxProc(plans); got != 7 {
+		t.Fatalf("MaxProc = %d", got)
+	}
+	if MaxProc(nil) != 0 {
+		t.Fatal("empty MaxProc")
+	}
+}
+
+func TestGenerateScript(t *testing.T) {
+	for _, pat := range []Pattern{UniformRandom, Ring, Mesh, Bursty} {
+		cfg := Config{Pattern: pat, Steps: 40, Think: 5 * des.Millisecond,
+			MsgBytes: 128, BurstLen: 10, BurstIdle: 50 * des.Millisecond}
+		plans, err := GenerateScript(cfg, 6, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+		if len(plans) != 6 {
+			t.Fatalf("%v: %d procs", pat, len(plans))
+		}
+		for p, sends := range plans {
+			if len(sends) != 40 {
+				t.Fatalf("%v P%d: %d sends", pat, p, len(sends))
+			}
+			var last des.Time
+			for _, s := range sends {
+				if s.Dst == p || s.Dst < 0 || s.Dst >= 6 {
+					t.Fatalf("%v: invalid dst %d from %d", pat, s.Dst, p)
+				}
+				if s.At < last {
+					t.Fatalf("%v: times not monotone", pat)
+				}
+				last = s.At
+				if s.Bytes != 128 {
+					t.Fatalf("bytes lost")
+				}
+			}
+			if pat == Ring && sends[0].Dst != (p+1)%6 {
+				t.Fatalf("ring dst wrong")
+			}
+		}
+	}
+	// Determinism.
+	a, _ := GenerateScript(Config{Pattern: UniformRandom, Steps: 10, Think: des.Millisecond}, 4, 9)
+	b, _ := GenerateScript(Config{Pattern: UniformRandom, Steps: 10, Think: des.Millisecond}, 4, 9)
+	for p := range a {
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatal("GenerateScript not deterministic")
+			}
+		}
+	}
+	// Reactive patterns rejected.
+	if _, err := GenerateScript(Config{Pattern: ClientServer, Steps: 5}, 4, 1); err == nil {
+		t.Fatal("client-server should be rejected")
+	}
+	if _, err := GenerateScript(Config{Pattern: BSPStencil, Steps: 5}, 4, 1); err == nil {
+		t.Fatal("bsp should be rejected")
+	}
+	if _, err := GenerateScript(Config{Steps: 0}, 4, 1); err == nil {
+		t.Fatal("zero steps should be rejected")
+	}
+	if _, err := GenerateScript(Config{Steps: 5}, 1, 1); err == nil {
+		t.Fatal("n=1 should be rejected")
+	}
+}
