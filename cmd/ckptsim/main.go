@@ -90,7 +90,16 @@ func main() {
 	fmt.Printf("makespan            %.3fs\n", r.Makespan.Seconds())
 	fmt.Printf("app messages        %d\n", r.AppMsgs)
 	fmt.Printf("control messages    %d\n", r.CtlMsgs)
-	fmt.Printf("piggyback bytes     %d\n", r.PiggybackBytes)
+	fmt.Printf("piggyback bytes     %d", r.PiggybackBytes)
+	if r.AppMsgs > 0 {
+		fmt.Printf(" (%.1f bytes/msg)", float64(r.PiggybackBytes)/float64(r.AppMsgs))
+	}
+	fmt.Println()
+	// Wire-level metrics stay zero on the simulator (envelopes never
+	// serialize); ocsmld populates them. Printed here so simulated and
+	// real runs render comparably.
+	fmt.Printf("frames sent         %d\n", r.Counter("wire.app_frames"))
+	fmt.Printf("reconnects          %d\n", r.Counter("wire.reconnects"))
 	fmt.Printf("global checkpoints  %d\n", r.GlobalCheckpoints())
 	fmt.Printf("finalize latency    %.3fs mean\n", r.MeanFinalizationLatency())
 	fmt.Printf("message log bytes   %d\n", r.TotalLogBytes())

@@ -1,0 +1,340 @@
+// Command ocsmld runs the OCSML protocol over a real network: actual
+// TCP connections between processes, the wire codec on every envelope,
+// and (with -datadir) checkpoints fsync'd to real files.
+//
+// Two modes:
+//
+//	ocsmld -spawn-all -n 4 -datadir /tmp/ocsml        # whole cluster, one command
+//	ocsmld -id 0 -peers host0:7000,host1:7000,...     # one process of a cluster
+//
+// Spawn-all launches an N-process cluster on localhost, runs the
+// workload to completion and prints the same headline metrics as the
+// simulator (cmd/ckptsim) plus the wire-level ones only a real network
+// produces (frames, encoded piggyback bytes, reconnects).
+//
+// Daemon mode hosts a single process; start one ocsmld per entry in
+// -peers (the -id'th address is bound locally). A killed daemon is
+// restarted with -resume <seq> pointing at the cluster's recovery line
+// (the smallest "last finalized seq" across the peers' manifests, see
+// DESIGN.md); its state is reloaded from the -datadir manifest.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/fsstore"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+	"ocsml/internal/trace"
+	"ocsml/internal/transport"
+	"ocsml/internal/workload"
+)
+
+var patterns = map[string]workload.Pattern{
+	"uniform":       workload.UniformRandom,
+	"ring":          workload.Ring,
+	"client-server": workload.ClientServer,
+	"mesh":          workload.Mesh,
+	"bursty":        workload.Bursty,
+	"stencil":       workload.BSPStencil,
+}
+
+func main() {
+	var (
+		spawnAll  = flag.Bool("spawn-all", false, "launch an N-process localhost cluster in this one command")
+		n         = flag.Int("n", 4, "cluster size (spawn-all)")
+		id        = flag.Int("id", -1, "this process's id (daemon mode)")
+		peers     = flag.String("peers", "", "comma-separated host:port list, one per process; entry -id is bound locally")
+		proto     = flag.String("proto", "ocsml", "protocol (the network runtime hosts ocsml)")
+		datadir   = flag.String("datadir", "", "directory for file-backed stable storage (enables restart)")
+		resume    = flag.Int("resume", -1, "restart from this finalized checkpoint seq (daemon mode; needs -datadir)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		steps     = flag.Int64("steps", 400, "work steps per process")
+		think     = flag.Duration("think", 4*time.Millisecond, "mean computation per step (real time)")
+		pattern   = flag.String("pattern", "uniform", "workload: uniform|ring|client-server|mesh|bursty|stencil")
+		msgBytes  = flag.Int64("msg", 2<<10, "application message payload bytes")
+		interval  = flag.Duration("interval", 500*time.Millisecond, "checkpoint period (real time)")
+		timeout   = flag.Duration("timeout", 150*time.Millisecond, "convergence timeout (real time)")
+		bw        = flag.Int64("bw", 64<<20, "modeled stable-storage bandwidth, bytes/sec (0 = no modeled delay)")
+		runFor    = flag.Duration("run-for", 60*time.Second, "overall deadline")
+		drain     = flag.Duration("drain", 750*time.Millisecond, "settle time after the workload completes")
+		reliableF = flag.Bool("reliable", true, "ack/retransmit middleware (covers frames lost to reconnects)")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	if *proto != "ocsml" {
+		fatalf("the network runtime hosts the ocsml protocol (got %q); baselines run under cmd/ckptsim", *proto)
+	}
+	pat, ok := patterns[*pattern]
+	if !ok {
+		fatalf("unknown pattern %q", *pattern)
+	}
+	opt := core.DefaultOptions()
+	opt.Interval = des.Duration(*interval)
+	opt.Timeout = des.Duration(*timeout)
+	wl := workload.Config{Pattern: pat, Steps: *steps, Think: des.Duration(*think), MsgBytes: *msgBytes}
+
+	if *spawnAll {
+		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
+		return
+	}
+	runDaemon(*id, *peers, *datadir, *resume, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
+}
+
+// runCluster is -spawn-all: the whole cluster in one OS process, nodes
+// talking over real localhost TCP.
+func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload.Config,
+	bw int64, rel bool, runFor, drain time.Duration, jsonOut bool) {
+	c, err := transport.NewCluster(transport.ClusterConfig{
+		N: n, Seed: seed, Datadir: datadir, Opt: opt, Reliable: rel,
+		Workload: wl, WriteBandwidth: bw, Timeout: runFor, Drain: drain,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := c.Run(); err != nil {
+		fatalf("%v", err)
+	}
+	rep, err := c.Report()
+	if err != nil {
+		fatalf("consistency check failed: %v", err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("protocol            ocsml (tcp mesh)\n")
+	fmt.Printf("processes           %d\n", rep.N)
+	fmt.Printf("completed           %v\n", rep.Completed)
+	fmt.Printf("makespan            %.3fs\n", rep.Makespan.Seconds())
+	fmt.Printf("app messages        %d\n", rep.AppMessages)
+	fmt.Printf("control messages    %d\n", rep.ControlMessages)
+	fmt.Printf("piggyback bytes     %d (%.1f bytes/msg on the wire)\n", rep.PiggybackBytes, rep.PiggybackBytesPerMsg)
+	fmt.Printf("global checkpoints  %d\n", rep.GlobalCheckpoints)
+	fmt.Printf("consistency         OK (%d global checkpoints verified)\n", len(rep.ConsistentSeqs))
+	fmt.Printf("frames sent         %d (%d bytes)\n", rep.FramesSent, rep.FrameBytes)
+	fmt.Printf("reconnects          %d\n", rep.Reconnects)
+	fmt.Printf("frames dropped      %d\n", rep.Dropped)
+	fmt.Printf("message log bytes   %d\n", rep.LogBytes)
+	if datadir != "" {
+		last, err := fsstore.LastCompleteSeq(datadir, rep.N)
+		if err != nil {
+			fatalf("manifest check: %v", err)
+		}
+		fmt.Printf("durable S_k         %d (all %d manifests)\n", last, rep.N)
+	}
+	names := make([]string, 0, len(rep.Counters))
+	for name := range rep.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-24s %d\n", name, rep.Counters[name])
+	}
+}
+
+// runDaemon hosts one process of a cluster whose other members are
+// separate ocsmld invocations (possibly on other machines).
+func runDaemon(id int, peerList, datadir string, resume int, seed int64, opt core.Options,
+	wl workload.Config, bw int64, rel bool, runFor, drain time.Duration, jsonOut bool) {
+	if peerList == "" {
+		fatalf("daemon mode needs -peers (or use -spawn-all)")
+	}
+	addrs := strings.Split(peerList, ",")
+	n := len(addrs)
+	if id < 0 || id >= n {
+		fatalf("-id %d out of range for %d peers", id, n)
+	}
+	if n < 2 {
+		fatalf("need at least 2 peers")
+	}
+	var fs *fsstore.Store
+	var err error
+	if datadir != "" {
+		if fs, err = fsstore.Open(datadir, id, n); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Local (per-daemon) recorder, checkpoint store and counters: in
+	// daemon mode every process observes only itself.
+	rec := trace.NewRecorder()
+	ckpts := checkpoint.NewStore(n)
+	counters := newCounterTable()
+
+	var resumeRec *checkpoint.Record
+	if resume >= 0 {
+		if fs == nil {
+			fatalf("-resume needs -datadir")
+		}
+		if err := fs.TruncateAfter(resume); err != nil {
+			fatalf("truncating above the recovery line: %v", err)
+		}
+		man := fs.Manifest()
+		sort.Ints(man.Seqs)
+		for _, seq := range man.Seqs {
+			r, err := fs.Load(seq)
+			if err != nil {
+				fatalf("loading durable checkpoint %d: %v", seq, err)
+			}
+			ckpts.Proc(id).Add(r)
+			if seq == resume {
+				cp := r
+				resumeRec = &cp
+			}
+		}
+		if resumeRec == nil && resume > 0 {
+			fatalf("no durable checkpoint at recovery line %d", resume)
+		}
+		if resumeRec == nil { // line 0: initial state
+			resumeRec = &checkpoint.Record{}
+		}
+	}
+
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		fatalf("binding %s: %v", addrs[id], err)
+	}
+	var pr protocol.Protocol
+	cp := core.New(opt)
+	if resume >= 0 {
+		cp.SetResume(resume)
+	}
+	pr = cp
+	if rel {
+		pr = reliable.Wrap(cp, reliable.Options{})
+	}
+	doneCh := make(chan struct{}, 1)
+	node, err := transport.NewNode(transport.NodeConfig{
+		ID: id, N: n, Addrs: addrs, Listener: ln,
+		Seed: seed, Resume: resume, ResumeRec: resumeRec,
+		Proto: pr, App: workload.Factory(wl)(id, n),
+		Rec: rec, Ckpts: ckpts, Count: counters.add,
+		FS: fs, WriteBandwidth: bw,
+		OnDone: func(int) {
+			select {
+			case doneCh <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	node.Start()
+	fmt.Fprintf(os.Stderr, "ocsmld: P%d listening on %s (n=%d, resume=%d)\n", id, addrs[id], n, resume)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	completed := false
+	select {
+	case <-doneCh:
+		completed = true
+		// Stay up through the drain so peers can finish their own quotas
+		// and the last checkpoint round can finalize everywhere.
+		select {
+		case <-time.After(drain):
+		case <-sig:
+		}
+	case <-sig:
+	case <-time.After(runFor):
+	}
+	node.Close()
+
+	type daemonReport struct {
+		ID             int
+		Completed      bool
+		FinalizedSeqs  []int
+		DurableLastSeq int
+		Mesh           transport.MeshStats
+		StaleDropped   int64
+		DecodeErrors   int64
+		Counters       map[string]int64
+	}
+	dr := daemonReport{
+		ID: id, Completed: completed,
+		Mesh:           node.Mesh().Stats(),
+		StaleDropped:   node.StaleDropped(),
+		DecodeErrors:   node.DecodeErrors(),
+		Counters:       counters.snapshot(),
+		DurableLastSeq: -1,
+	}
+	for _, r := range ckpts.Proc(id).All() {
+		if r.Seq > 0 && r.FinalizedAt != 0 {
+			dr.FinalizedSeqs = append(dr.FinalizedSeqs, r.Seq)
+		}
+	}
+	if fs != nil {
+		dr.DurableLastSeq = fs.LastSeq()
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dr); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("process             P%d\n", dr.ID)
+	fmt.Printf("completed           %v\n", dr.Completed)
+	fmt.Printf("finalized seqs      %v\n", dr.FinalizedSeqs)
+	fmt.Printf("durable last seq    %d\n", dr.DurableLastSeq)
+	fmt.Printf("frames sent/recv    %d/%d\n", dr.Mesh.FramesSent, dr.Mesh.FramesRecv)
+	fmt.Printf("bytes sent/recv     %d/%d\n", dr.Mesh.BytesSent, dr.Mesh.BytesRecv)
+	fmt.Printf("reconnects          %d\n", dr.Mesh.Reconnects)
+	fmt.Printf("stale dropped       %d\n", dr.StaleDropped)
+	names := make([]string, 0, len(dr.Counters))
+	for name := range dr.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-24s %d\n", name, dr.Counters[name])
+	}
+}
+
+type counterTable struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newCounterTable() *counterTable { return &counterTable{m: map[string]int64{}} }
+
+func (c *counterTable) add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+func (c *counterTable) snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ocsmld: "+format+"\n", args...)
+	os.Exit(1)
+}

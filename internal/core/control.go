@@ -23,7 +23,7 @@ func (p *Protocol) sendCtl(dst int, tag string, csn int) {
 	}
 	p.env.Send(&protocol.Envelope{
 		Dst: dst, Kind: protocol.KindCtl, CtlTag: tag,
-		Bytes: ctlBytes, Payload: ctlMsg{csn: csn},
+		Bytes: ctlBytes, Payload: CtlMsg{Csn: csn},
 	})
 }
 
@@ -33,8 +33,8 @@ func (p *Protocol) broadcastEND(csn int) {
 	}
 	p.endSentCsn = csn
 	p.env.Broadcast(&protocol.Envelope{
-		Kind: protocol.KindCtl, CtlTag: tagEND,
-		Bytes: ctlBytes, Payload: ctlMsg{csn: csn},
+		Kind: protocol.KindCtl, CtlTag: TagEND,
+		Bytes: ctlBytes, Payload: CtlMsg{Csn: csn},
 	})
 }
 
@@ -64,7 +64,7 @@ func (p *Protocol) onConvergeTimeout(gen int) {
 		}
 		return
 	}
-	p.sendCtl(0, tagBGN, p.csn)
+	p.sendCtl(0, TagBGN, p.csn)
 }
 
 // forwardREQ implements forwardCheckpointRequest(P_i, CM): send CK_REQ to
@@ -102,7 +102,7 @@ func (p *Protocol) forwardREQ() {
 		p.completeRound(csn)
 		return
 	}
-	p.sendCtl(dst, tagREQ, csn)
+	p.sendCtl(dst, TagREQ, csn)
 }
 
 // completeRound is P0 learning that every process has taken the tentative
@@ -117,25 +117,25 @@ func (p *Protocol) completeRound(csn int) {
 // onControl implements the "When P_i receives CM from P_j" rules of
 // Figure 4.
 func (p *Protocol) onControl(e *protocol.Envelope) {
-	cm, ok := e.Payload.(ctlMsg)
+	cm, ok := e.Payload.(CtlMsg)
 	if !ok {
 		panic(fmt.Sprintf("core: P%d received foreign control message %q", p.env.ID(), e.CtlTag))
 	}
 	switch {
-	case cm.csn < p.csn:
+	case cm.Csn < p.csn:
 		// Stale: we already finalized that sequence number (csn only
 		// advances past a finalized checkpoint). Deviation (ii) in
 		// DESIGN.md: the paper's pseudocode leaves this case implicit.
 		// A stale CK_BGN/CK_REQ means its sender is still waiting to
-		// finalize cm.csn — answer with a targeted CK_END so it cannot
+		// finalize cm.Csn — answer with a targeted CK_END so it cannot
 		// strand (its own timer does not re-arm).
 		p.env.Count("ctl_stale", 1)
-		if e.CtlTag == tagBGN || e.CtlTag == tagREQ {
-			p.sendCtl(e.Src, tagEND, cm.csn)
+		if e.CtlTag == TagBGN || e.CtlTag == TagREQ {
+			p.sendCtl(e.Src, TagEND, cm.Csn)
 		}
 		return
 
-	case cm.csn == p.csn+1:
+	case cm.Csn == p.csn+1:
 		// We lag one initiation behind: finalize the current tentative
 		// checkpoint if any (its global checkpoint is complete — the
 		// sender could only reach csn+1 afterwards), then join.
@@ -143,7 +143,7 @@ func (p *Protocol) onControl(e *protocol.Envelope) {
 			p.finalize()
 		}
 		p.takeTentative()
-		if e.CtlTag == tagEND {
+		if e.CtlTag == TagEND {
 			// Deviation (i) in DESIGN.md: CK_END(csn+1) proves every
 			// process took csn+1, so finalize immediately rather than
 			// forwarding a CK_REQ into a completed round. (Unreachable
@@ -153,12 +153,12 @@ func (p *Protocol) onControl(e *protocol.Envelope) {
 		}
 		p.forwardREQ()
 
-	case cm.csn == p.csn:
+	case cm.Csn == p.csn:
 		// Paper: the convergence timer is canceled when a CM with the
 		// current sequence number arrives (the round is in progress).
 		p.cancelConvTimer()
 		switch e.CtlTag {
-		case tagBGN:
+		case TagBGN:
 			if p.stat == Tentative {
 				if p.reqSentCsn >= p.csn {
 					return // round already initiated for this csn
@@ -168,18 +168,18 @@ func (p *Protocol) onControl(e *protocol.Envelope) {
 			}
 			// Already finalized: if we are P0 the round is complete.
 			if p.env.ID() == 0 {
-				p.broadcastEND(cm.csn)
+				p.broadcastEND(cm.Csn)
 			}
-		case tagREQ:
+		case TagREQ:
 			if p.env.ID() == 0 {
-				p.completeRound(cm.csn)
+				p.completeRound(cm.Csn)
 				return
 			}
-			if p.reqSentCsn >= cm.csn {
+			if p.reqSentCsn >= cm.Csn {
 				return // duplicate round traffic
 			}
 			p.forwardREQ()
-		case tagEND:
+		case TagEND:
 			if p.stat == Tentative {
 				p.finalize()
 			}
@@ -187,8 +187,8 @@ func (p *Protocol) onControl(e *protocol.Envelope) {
 			panic(fmt.Sprintf("core: unknown control tag %q", e.CtlTag))
 		}
 
-	default: // cm.csn > p.csn+1
+	default: // cm.Csn > p.csn+1
 		panic(fmt.Sprintf("core: P%d (csn=%d) received impossible control csn=%d",
-			p.env.ID(), p.csn, cm.csn))
+			p.env.ID(), p.csn, cm.Csn))
 	}
 }

@@ -108,7 +108,7 @@ func mount(t *testing.T, id, n int, opt Options, tentative bool) (*Protocol, *fa
 func ctl(src int, tag string, csn int) *protocol.Envelope {
 	return &protocol.Envelope{
 		ID: 9999, Src: src, Kind: protocol.KindCtl, CtlTag: tag,
-		Payload: ctlMsg{csn: csn},
+		Payload: CtlMsg{Csn: csn},
 	}
 }
 
@@ -131,16 +131,16 @@ func TestStaleBGNGetsTargetedEND(t *testing.T) {
 	p.finalize()
 	env.sent = nil
 
-	p.OnDeliver(ctl(3, tagBGN, 0))
+	p.OnDeliver(ctl(3, TagBGN, 0))
 	if env.counters["ctl_stale"] != 1 {
 		t.Fatal("stale counter not bumped")
 	}
-	if len(env.sent) != 1 || env.sent[0].CtlTag != tagEND || env.sent[0].Dst != 3 {
+	if len(env.sent) != 1 || env.sent[0].CtlTag != TagEND || env.sent[0].Dst != 3 {
 		t.Fatalf("expected targeted CK_END to P3, got %v", sentTags(env))
 	}
 	// Stale CK_END gets no reply.
 	env.sent = nil
-	p.OnDeliver(ctl(3, tagEND, 0))
+	p.OnDeliver(ctl(3, TagEND, 0))
 	if len(env.sent) != 0 {
 		t.Fatalf("stale CK_END must not be answered: %v", sentTags(env))
 	}
@@ -154,10 +154,10 @@ func TestBGNAtFinalizedCoordinatorBroadcastsEND(t *testing.T) {
 	p.finalize()
 	env.sent = nil
 
-	p.OnDeliver(ctl(2, tagBGN, 1))
+	p.OnDeliver(ctl(2, TagBGN, 1))
 	ends := 0
 	for _, e := range env.sent {
-		if e.CtlTag == tagEND {
+		if e.CtlTag == TagEND {
 			ends++
 		}
 	}
@@ -166,7 +166,7 @@ func TestBGNAtFinalizedCoordinatorBroadcastsEND(t *testing.T) {
 	}
 	// Second BGN for the same csn: END already sent, stay silent.
 	env.sent = nil
-	p.OnDeliver(ctl(1, tagBGN, 1))
+	p.OnDeliver(ctl(1, TagBGN, 1))
 	if len(env.sent) != 0 {
 		t.Fatalf("duplicate BGN must not rebroadcast: %v", sentTags(env))
 	}
@@ -182,20 +182,20 @@ func TestREQAtFinalizedProcessForwardsToCoordinator(t *testing.T) {
 	p.finalize()
 	env.sent = nil
 
-	p.OnDeliver(ctl(1, tagREQ, 1))
-	if len(env.sent) != 1 || env.sent[0].CtlTag != tagREQ || env.sent[0].Dst != 0 {
+	p.OnDeliver(ctl(1, TagREQ, 1))
+	if len(env.sent) != 1 || env.sent[0].CtlTag != TagREQ || env.sent[0].Dst != 0 {
 		t.Fatalf("finalized process should forward REQ to P0: %v", env.sent)
 	}
 }
 
 func TestDuplicateREQSuppressed(t *testing.T) {
 	p, env := mount(t, 2, 5, Options{Timeout: des.Second}, true)
-	p.OnDeliver(ctl(1, tagREQ, 1))
+	p.OnDeliver(ctl(1, TagREQ, 1))
 	first := len(env.sent)
-	if first != 1 || env.sent[0].CtlTag != tagREQ {
+	if first != 1 || env.sent[0].CtlTag != TagREQ {
 		t.Fatalf("expected one forwarded REQ, got %v", sentTags(env))
 	}
-	p.OnDeliver(ctl(0, tagREQ, 1))
+	p.OnDeliver(ctl(0, TagREQ, 1))
 	if len(env.sent) != first {
 		t.Fatalf("duplicate REQ must be suppressed: %v", sentTags(env))
 	}
@@ -205,7 +205,7 @@ func TestENDNextCsnAtNormalFinalizesImmediately(t *testing.T) {
 	// Deviation (i): CK_END(csn+1) at a normal process takes the
 	// tentative checkpoint and finalizes at once.
 	p, env := mount(t, 1, 3, Options{Timeout: des.Second}, false)
-	p.OnDeliver(ctl(0, tagEND, 1))
+	p.OnDeliver(ctl(0, TagEND, 1))
 	if p.Csn() != 1 || p.Status() != Normal {
 		t.Fatalf("csn=%d status=%v", p.Csn(), p.Status())
 	}
@@ -216,11 +216,11 @@ func TestENDNextCsnAtNormalFinalizesImmediately(t *testing.T) {
 
 func TestREQNextCsnJoinsAndForwards(t *testing.T) {
 	p, env := mount(t, 1, 4, Options{Timeout: des.Second, SkipREQ: true}, false)
-	p.OnDeliver(ctl(0, tagREQ, 1))
+	p.OnDeliver(ctl(0, TagREQ, 1))
 	if p.Csn() != 1 || p.Status() != Tentative {
 		t.Fatalf("should join round 1: csn=%d %v", p.Csn(), p.Status())
 	}
-	if len(env.sent) != 1 || env.sent[0].CtlTag != tagREQ || env.sent[0].Dst != 2 {
+	if len(env.sent) != 1 || env.sent[0].CtlTag != TagREQ || env.sent[0].Dst != 2 {
 		t.Fatalf("should forward REQ to P2: %v", env.sent)
 	}
 }
@@ -232,7 +232,7 @@ func TestImpossibleControlCsnPanics(t *testing.T) {
 			t.Fatal("CM.csn > csn+1 should panic")
 		}
 	}()
-	p.OnDeliver(ctl(0, tagEND, 5))
+	p.OnDeliver(ctl(0, TagEND, 5))
 }
 
 func TestForeignControlPayloadPanics(t *testing.T) {
@@ -258,7 +258,7 @@ func TestUnknownTagPanics(t *testing.T) {
 func TestCoordinatorTimeoutStartsRound(t *testing.T) {
 	p, env := mount(t, 0, 3, Options{Timeout: 100 * des.Millisecond}, true)
 	env.sim.Run() // fire the convergence timer
-	if len(env.sent) == 0 || env.sent[0].CtlTag != tagREQ || env.sent[0].Dst != 1 {
+	if len(env.sent) == 0 || env.sent[0].CtlTag != TagREQ || env.sent[0].Dst != 1 {
 		t.Fatalf("P0 timeout should send CK_REQ to P1: %v", sentTags(env))
 	}
 	// A second expiry (re-armed manually) must not duplicate the round.
@@ -283,7 +283,7 @@ func TestTimeoutSuppressionAndEscalation(t *testing.T) {
 	}
 	// Escalation: the re-armed timer sends unconditionally.
 	p.onConvergeTimeout(1)
-	if len(env.sent) != 1 || env.sent[0].CtlTag != tagBGN || env.sent[0].Dst != 0 {
+	if len(env.sent) != 1 || env.sent[0].CtlTag != TagBGN || env.sent[0].Dst != 0 {
 		t.Fatalf("escalated expiry should send CK_BGN: %v", sentTags(env))
 	}
 }
@@ -295,7 +295,7 @@ func TestSendCtlToSelfPanics(t *testing.T) {
 			t.Fatal("self-send should panic")
 		}
 	}()
-	p.sendCtl(1, tagBGN, 0)
+	p.sendCtl(1, TagBGN, 0)
 }
 
 func TestFactoryAndFinish(t *testing.T) {

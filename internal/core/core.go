@@ -119,12 +119,13 @@ func Factory(opt Options) func(i, n int) protocol.Protocol {
 	return func(i, n int) protocol.Protocol { return New(opt) }
 }
 
-// piggyback is the protocol state attached to every application message:
-// M.csn, M.stat and M.tentSet in the paper's notation.
-type piggyback struct {
-	csn     int
-	stat    Status
-	tentSet protocol.ProcSet // snapshot (cloned) at send time
+// Piggyback is the protocol state attached to every application message:
+// M.csn, M.stat and M.tentSet in the paper's notation. It is exported so
+// the real-network runtime (internal/wire) can serialize it.
+type Piggyback struct {
+	Csn     int
+	Stat    Status
+	TentSet protocol.ProcSet // snapshot (cloned) at send time
 }
 
 // wire size of the fixed piggyback fields (csn:4, stat:1).
@@ -132,14 +133,16 @@ const piggyFixedBytes = 5
 
 // Control message tags.
 const (
-	tagBGN = "CK_BGN"
-	tagREQ = "CK_REQ"
-	tagEND = "CK_END"
+	// TagBGN, TagREQ and TagEND are the §3.5.1 control message names,
+	// exported for wire-level tooling.
+	TagBGN = "CK_BGN"
+	TagREQ = "CK_REQ"
+	TagEND = "CK_END"
 )
 
-// ctlMsg is the body of a control message: CM.csn in the paper.
-type ctlMsg struct {
-	csn int
+// CtlMsg is the body of a control message: CM.csn in the paper.
+type CtlMsg struct {
+	Csn int
 }
 
 const ctlBytes = 8
@@ -174,6 +177,7 @@ type Protocol struct {
 
 	reqSentCsn int // highest csn for which this process sent/forwarded CK_REQ
 	endSentCsn int // highest csn for which this process broadcast CK_END
+	resumeSeq  int // checkpoint seq to resume from at Start (-1 = fresh)
 
 	// pendingFlush queues finalization writes awaiting a convenient
 	// (idle-server) moment; each entry issues the write when executed.
@@ -192,8 +196,16 @@ func New(opt Options) *Protocol {
 	if opt.FlushPoll <= 0 {
 		opt.FlushPoll = 100 * des.Millisecond
 	}
-	return &Protocol{opt: opt, reqSentCsn: -1, endSentCsn: -1}
+	return &Protocol{opt: opt, reqSentCsn: -1, endSentCsn: -1, resumeSeq: -1}
 }
+
+// SetResume arranges for Start to resume from an already-finalized
+// checkpoint with the given sequence number instead of from the initial
+// state: csn starts at seq and the implicit sequence-0 record is not
+// re-added to the store (the caller restored the store from stable
+// storage). Used by the real-network runtime when a crashed process
+// restarts from disk. Must be called before Start.
+func (p *Protocol) SetResume(seq int) { p.resumeSeq = seq }
 
 var _ protocol.Protocol = (*Protocol)(nil)
 
@@ -215,6 +227,19 @@ func (p *Protocol) LogLen() int { return len(p.logSet) }
 func (p *Protocol) Start(env protocol.Env) {
 	p.env = env
 	p.tentSet = protocol.NewProcSet(env.N())
+	if p.resumeSeq >= 0 {
+		// Restart after a crash: the store was restored from stable
+		// storage up to resumeSeq; continue from there.
+		p.csn = p.resumeSeq
+		p.reqSentCsn = p.resumeSeq
+		p.endSentCsn = p.resumeSeq
+		p.lastTentAt = env.Now()
+		if p.opt.Interval > 0 {
+			first := p.opt.Interval + des.Duration(env.Rand().Int63n(int64(p.opt.Interval/20)+1))
+			env.SetTimer(first, protocol.TimerBasic, 0)
+		}
+		return
+	}
 	env.Checkpoints().Add(checkpoint.Record{
 		Tentative: checkpoint.Tentative{Proc: env.ID(), Seq: 0},
 		// The initial state is part of the program image; it needs no
@@ -525,7 +550,7 @@ func (p *Protocol) finalize() {
 // OnAppSend implements protocol.Protocol: piggyback (csn, stat, tentSet)
 // on every application message and, while tentative, log the send.
 func (p *Protocol) OnAppSend(e *protocol.Envelope) {
-	e.Payload = piggyback{csn: p.csn, stat: p.stat, tentSet: p.tentSet.Clone()}
+	e.Payload = Piggyback{Csn: p.csn, Stat: p.stat, TentSet: p.tentSet.Clone()}
 	e.Bytes += piggyFixedBytes + p.tentSet.ByteSize()
 	if p.stat == Tentative {
 		p.logMsg(e, checkpoint.Sent)
@@ -539,19 +564,19 @@ func (p *Protocol) OnDeliver(e *protocol.Envelope) {
 		p.onControl(e)
 		return
 	}
-	pb, ok := e.Payload.(piggyback)
+	pb, ok := e.Payload.(Piggyback)
 	if !ok {
 		panic(fmt.Sprintf("core: P%d received app message without piggyback", p.env.ID()))
 	}
-	if pb.csn > p.csn+1 {
+	if pb.Csn > p.csn+1 {
 		// Fig. 3 cases 2d/4c: impossible — P_j can only finalize csn+1
 		// after every process (including us) took csn+1.
-		panic(fmt.Sprintf("core: P%d (csn=%d) received impossible piggyback csn=%d", p.env.ID(), p.csn, pb.csn))
+		panic(fmt.Sprintf("core: P%d (csn=%d) received impossible piggyback csn=%d", p.env.ID(), p.csn, pb.Csn))
 	}
-	if pb.stat == Normal && p.stat == Tentative && pb.csn > p.csn {
+	if pb.Stat == Normal && p.stat == Tentative && pb.Csn > p.csn {
 		// Fig. 3 case 3c: impossible — the sender cannot have finalized
 		// csn before we finalized csn-1.
-		panic(fmt.Sprintf("core: P%d tentative at %d received normal piggyback csn=%d", p.env.ID(), p.csn, pb.csn))
+		panic(fmt.Sprintf("core: P%d tentative at %d received normal piggyback csn=%d", p.env.ID(), p.csn, pb.Csn))
 	}
 
 	// Finalization triggered by this message's piggyback happens BEFORE
@@ -559,8 +584,8 @@ func (p *Protocol) OnDeliver(e *protocol.Envelope) {
 	// cut point precedes it (paper Theorem 2, cases 1-2; Fig. 3's
 	// "Flush logSet_i - {M}").
 	if p.stat == Tentative {
-		senderFinalizedOurCsn := pb.stat == Normal && pb.csn == p.csn  // case 3b
-		senderStartedNext := pb.stat == Tentative && pb.csn == p.csn+1 // case 2c
+		senderFinalizedOurCsn := pb.Stat == Normal && pb.Csn == p.csn  // case 3b
+		senderStartedNext := pb.Stat == Tentative && pb.Csn == p.csn+1 // case 2c
 		if senderFinalizedOurCsn || senderStartedNext {
 			p.finalize()
 		}
@@ -582,26 +607,26 @@ func (p *Protocol) OnDeliver(e *protocol.Envelope) {
 
 // afterProcess applies the Figure-3 receive rules that follow message
 // processing.
-func (p *Protocol) afterProcess(pb piggyback, e *protocol.Envelope) {
+func (p *Protocol) afterProcess(pb Piggyback, e *protocol.Envelope) {
 	switch p.stat {
 	case Tentative:
-		if pb.stat == Tentative && pb.csn == p.csn {
+		if pb.Stat == Tentative && pb.Csn == p.csn {
 			// Case 2b: merge knowledge; finalize once everyone is known
 			// to have taken a tentative checkpoint with this csn. The
 			// triggering message IS part of the log.
-			p.tentSet.UnionWith(pb.tentSet)
+			p.tentSet.UnionWith(pb.TentSet)
 			if p.tentSet.Full() {
 				p.finalize()
 			}
 		}
-		// Cases 2a/3a (pb.csn < p.csn): stale information, no action.
+		// Cases 2a/3a (pb.Csn < p.csn): stale information, no action.
 	case Normal:
-		if pb.stat == Tentative && pb.csn == p.csn+1 {
+		if pb.Stat == Tentative && pb.Csn == p.csn+1 {
 			// Case 4b: first knowledge of a new initiation; join it.
 			// The just-processed message is included in the tentative
 			// checkpoint's state, not in the log.
 			p.takeTentative()
-			p.tentSet.UnionWith(pb.tentSet)
+			p.tentSet.UnionWith(pb.TentSet)
 			// Deviation (v), DESIGN.md: Fig. 3 case 4b omits the
 			// allPSet check after the merge, but the piggybacked set
 			// may already cover every other process (e.g. N=2); the

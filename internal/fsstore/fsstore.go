@@ -1,0 +1,371 @@
+// Package fsstore is the file-backed stable-storage implementation used
+// by the real-network runtime (internal/transport, cmd/ocsmld): finalized
+// checkpoints C_{i,k} actually reach a disk, with the durability ordering
+// the paper's recovery argument needs.
+//
+// Layout, one directory per process under a shared data directory:
+//
+//	<datadir>/p<id>/ckpt_000007.json   checkpoint state (CT + CFE fields)
+//	<datadir>/p<id>/log_000007.jsonl   message log, one entry per line
+//	<datadir>/p<id>/MANIFEST.json      finalized sequence numbers
+//	<datadir>/p<id>/tent.json          scratch early-flush of CT (volatile)
+//
+// Durability protocol per finalization CFE_{i,k}: the message log is
+// appended and fsynced first, then the checkpoint state is written to a
+// temp file, fsynced and atomically renamed into place, then the manifest
+// is rewritten the same way and the directory fsynced. A crash at any
+// point leaves either the previous manifest (the new checkpoint invisible
+// but harmless) or the new one (all referenced files durable) — never a
+// manifest pointing at missing data.
+//
+// The manifest of every process, intersected, yields the last finalized
+// global checkpoint S_k on disk; internal/recovery's RecoverLine restarts
+// a cluster from it.
+package fsstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+)
+
+// Manifest records what a process has durably finalized.
+type Manifest struct {
+	// Proc is the owning process id.
+	Proc int `json:"proc"`
+	// N is the cluster size the process was configured with.
+	N int `json:"n"`
+	// Seqs lists every finalized checkpoint sequence number on disk,
+	// ascending (gap-free from the first entry under OCSML).
+	Seqs []int `json:"seqs"`
+}
+
+// LastSeq returns the highest finalized sequence number, or -1.
+func (m *Manifest) LastSeq() int {
+	if len(m.Seqs) == 0 {
+		return -1
+	}
+	return m.Seqs[len(m.Seqs)-1]
+}
+
+// Store is one process's stable-storage directory. Methods are safe
+// for concurrent use (the real-network runtime finalizes from a storage
+// goroutine while a rollback may truncate from the protocol loop).
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	proc int
+	n    int
+	man  Manifest
+}
+
+// ProcDir returns the directory a process's store lives in.
+func ProcDir(datadir string, proc int) string {
+	return filepath.Join(datadir, fmt.Sprintf("p%d", proc))
+}
+
+// Open creates (or reopens) the store for one process. An existing
+// manifest is loaded, so a restarted process sees what it had finalized
+// before the crash.
+func Open(datadir string, proc, n int) (*Store, error) {
+	if proc < 0 || n < 2 || proc >= n {
+		return nil, fmt.Errorf("fsstore: invalid proc %d of %d", proc, n)
+	}
+	dir := ProcDir(datadir, proc)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, proc: proc, n: n, man: Manifest{Proc: proc, N: n}}
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	switch {
+	case os.IsNotExist(err):
+		return s, nil
+	case err != nil:
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("fsstore: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Proc != proc {
+		return nil, fmt.Errorf("fsstore: manifest in %s belongs to P%d, not P%d", dir, m.Proc, proc)
+	}
+	s.man = m
+	return s, nil
+}
+
+// Dir returns the process's storage directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Manifest returns a copy of the current manifest.
+func (s *Store) Manifest() Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.man
+	m.Seqs = append([]int(nil), s.man.Seqs...)
+	return m
+}
+
+// LastSeq returns the highest durably finalized sequence number, or -1.
+func (s *Store) LastSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.LastSeq()
+}
+
+func (s *Store) ckptPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt_%06d.json", seq))
+}
+
+func (s *Store) logPath(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("log_%06d.jsonl", seq))
+}
+
+// writeAtomic writes data to path via a temp file + fsync + rename, then
+// fsyncs the directory so the rename itself is durable.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return s.syncDir()
+}
+
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ckptState is the on-disk checkpoint state: the Record minus its log,
+// which lives in the sibling jsonl file.
+type ckptState struct {
+	checkpoint.Tentative
+	FinalizedAt int64  `json:"finalizedAt"`
+	CFEFold     uint64 `json:"cfeFold"`
+	CFEWork     int64  `json:"cfeWork"`
+	CFEProgress int64  `json:"cfeProgress"`
+	StableAt    int64  `json:"stableAt"`
+	LogEntries  int    `json:"logEntries"`
+}
+
+// SaveTentative persists an early flush of the tentative checkpoint CT
+// (the paper's "store at convenience" write that may precede
+// finalization). It is scratch state: a crash before finalization
+// legitimately discards it.
+func (s *Store) SaveTentative(t checkpoint.Tentative) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(filepath.Join(s.dir, "tent.json"), data)
+}
+
+// Finalize durably persists a finalized checkpoint: log first (append +
+// fsync), then state (atomic rename), then manifest. Idempotent per
+// sequence number; out-of-order sequence numbers are an error.
+func (s *Store) Finalize(rec checkpoint.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Proc != s.proc {
+		return fmt.Errorf("fsstore: record for P%d written to store of P%d", rec.Proc, s.proc)
+	}
+	if last := s.man.LastSeq(); rec.Seq <= last {
+		return fmt.Errorf("fsstore: P%d finalize seq %d not above manifest last %d", s.proc, rec.Seq, last)
+	}
+
+	// 1. Message log: append every entry, one JSON line each, and flush.
+	lf, err := os.OpenFile(s.logPath(rec.Seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(lf)
+	for i := range rec.Log {
+		if err := enc.Encode(&rec.Log[i]); err != nil {
+			lf.Close()
+			return err
+		}
+	}
+	if err := lf.Sync(); err != nil {
+		lf.Close()
+		return err
+	}
+	if err := lf.Close(); err != nil {
+		return err
+	}
+
+	// 2. Checkpoint state, atomically.
+	st := ckptState{
+		Tentative:   rec.Tentative,
+		FinalizedAt: int64(rec.FinalizedAt),
+		CFEFold:     rec.CFEFold,
+		CFEWork:     rec.CFEWork,
+		CFEProgress: rec.CFEProgress,
+		StableAt:    int64(rec.StableAt),
+		LogEntries:  len(rec.Log),
+	}
+	data, err := json.MarshalIndent(&st, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(s.ckptPath(rec.Seq), data); err != nil {
+		return err
+	}
+
+	// 3. Manifest, atomically: the checkpoint becomes visible.
+	s.man.Seqs = append(s.man.Seqs, rec.Seq)
+	mdata, err := json.MarshalIndent(&s.man, "", " ")
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(filepath.Join(s.dir, "MANIFEST.json"), mdata)
+}
+
+// Load reads one finalized checkpoint (state + log) back from disk.
+func (s *Store) Load(seq int) (checkpoint.Record, error) {
+	var rec checkpoint.Record
+	raw, err := os.ReadFile(s.ckptPath(seq))
+	if err != nil {
+		return rec, err
+	}
+	var st ckptState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return rec, fmt.Errorf("fsstore: corrupt checkpoint P%d seq %d: %w", s.proc, seq, err)
+	}
+	rec.Tentative = st.Tentative
+	rec.FinalizedAt = des.Time(st.FinalizedAt)
+	rec.CFEFold = st.CFEFold
+	rec.CFEWork = st.CFEWork
+	rec.CFEProgress = st.CFEProgress
+	rec.StableAt = des.Time(st.StableAt)
+
+	lraw, err := os.ReadFile(s.logPath(seq))
+	if err != nil {
+		if os.IsNotExist(err) && st.LogEntries == 0 {
+			return rec, nil
+		}
+		return rec, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(lraw))
+	for dec.More() {
+		var m checkpoint.LoggedMsg
+		if err := dec.Decode(&m); err != nil {
+			return rec, fmt.Errorf("fsstore: corrupt log P%d seq %d: %w", s.proc, seq, err)
+		}
+		rec.Log = append(rec.Log, m)
+	}
+	if len(rec.Log) != st.LogEntries {
+		return rec, fmt.Errorf("fsstore: P%d seq %d log has %d entries, manifest says %d",
+			s.proc, seq, len(rec.Log), st.LogEntries)
+	}
+	return rec, nil
+}
+
+// TruncateAfter removes finalized checkpoints with Seq > seq from disk and
+// from the manifest — a cluster-wide rollback discards checkpoints above
+// the recovery line so the restarted run can legitimately re-produce those
+// sequence numbers.
+func (s *Store) TruncateAfter(seq int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := s.man.Seqs[:0]
+	var drop []int
+	for _, q := range s.man.Seqs {
+		if q <= seq {
+			keep = append(keep, q)
+		} else {
+			drop = append(drop, q)
+		}
+	}
+	if len(drop) == 0 {
+		return nil
+	}
+	s.man.Seqs = keep
+	mdata, err := json.MarshalIndent(&s.man, "", " ")
+	if err != nil {
+		return err
+	}
+	// Manifest first: once it no longer references the dropped seqs, the
+	// stale files are invisible garbage even if removal is interrupted.
+	if err := s.writeAtomic(filepath.Join(s.dir, "MANIFEST.json"), mdata); err != nil {
+		return err
+	}
+	for _, q := range drop {
+		os.Remove(s.ckptPath(q))
+		os.Remove(s.logPath(q))
+	}
+	return s.syncDir()
+}
+
+// RecoverStore loads every process's finalized checkpoints from disk into
+// an in-memory checkpoint store — what a recovery manager reconstructs
+// after a cluster-wide failure. Processes with no directory yet contribute
+// nothing (their store is empty).
+func RecoverStore(datadir string, n int) (*checkpoint.Store, error) {
+	cs := checkpoint.NewStore(n)
+	for p := 0; p < n; p++ {
+		s, err := Open(datadir, p, n)
+		if err != nil {
+			return nil, err
+		}
+		seqs := s.Manifest().Seqs
+		sort.Ints(seqs)
+		for _, seq := range seqs {
+			rec, err := s.Load(seq)
+			if err != nil {
+				return nil, err
+			}
+			cs.Proc(p).Add(rec)
+		}
+	}
+	return cs, nil
+}
+
+// LastCompleteSeq intersects the manifests of all n processes and returns
+// the highest sequence number every process has durably finalized — the
+// last global checkpoint S_k on disk — or -1 if none exists.
+func LastCompleteSeq(datadir string, n int) (int, error) {
+	best := -1
+	for p := 0; p < n; p++ {
+		s, err := Open(datadir, p, n)
+		if err != nil {
+			return -1, err
+		}
+		last := s.LastSeq()
+		if p == 0 || last < best {
+			best = last
+		}
+	}
+	return best, nil
+}

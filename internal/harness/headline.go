@@ -1,0 +1,65 @@
+package harness
+
+import "strconv"
+
+// Headline extracts one representative metric from an experiment table —
+// the same metric bench_test.go reports for that experiment via
+// b.ReportMetric — so the bench-JSON emitter (cmd/experiments -json) and
+// the benchmarks agree on what the perf trajectory tracks. Returns
+// ok=false for tables without a registered headline.
+func Headline(tab *Table) (name string, value float64, ok bool) {
+	h, found := headlines[tab.ID]
+	if !found {
+		return "", 0, false
+	}
+	row := h.row(tab)
+	if row < 0 || row >= len(tab.Rows) {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(tab.Rows[row][h.col], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return h.name, v, true
+}
+
+type headline struct {
+	name string
+	row  func(*Table) int
+	col  int
+}
+
+// lastWhere selects the last row whose column col holds val.
+func lastWhere(col int, val string) func(*Table) int {
+	return func(tab *Table) int {
+		idx := -1
+		for i, row := range tab.Rows {
+			if row[col] == val {
+				idx = i
+			}
+		}
+		return idx
+	}
+}
+
+func fixed(i int) func(*Table) int { return func(*Table) int { return i } }
+
+func lastRow(tab *Table) int { return len(tab.Rows) - 1 }
+
+var headlines = map[string]headline{
+	"E1":  {"ocsml-makespan-s", lastWhere(1, "ocsml"), 2},
+	"E2":  {"ocsml-peak-queue", lastWhere(1, "ocsml"), 2},
+	"E3":  {"ctl-per-global-sparse", lastRow, 3},
+	"E4":  {"dense-finalize-s", fixed(0), 2},
+	"E5":  {"dense-log-kb", fixed(0), 2},
+	"E6":  {"kt-stall-s-per-proc", lastWhere(1, "koo-toueg"), 2},
+	"E7":  {"cic-forced", lastWhere(1, "bcs-cic"), 3},
+	"E8":  {"domino-depth", lastWhere(1, "uncoordinated"), 2},
+	"E9":  {"ocsml-retained-per-proc", lastWhere(0, "ocsml"), 2},
+	"E10": {"retrans-per-msg-at-30pct", lastRow, 1},
+	"E11": {"kt-wait-pred-s", fixed(0), 1},
+	"A1":  {"suppressed-bgn-per-global", fixed(1), 2},
+	"A2":  {"req-per-global-skip", fixed(1), 2},
+	"A3":  {"early-peak-queue", fixed(1), 1},
+	"A4":  {"kt-local-blocked-s", lastWhere(0, "koo-toueg"), 4},
+}

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -168,3 +170,46 @@ func (s ProcSet) String() string {
 // ByteSize returns the wire size of the set when piggybacked on a message
 // (one bit per process, rounded to bytes). Used for overhead accounting.
 func (s ProcSet) ByteSize() int64 { return int64((s.n + 7) / 8) }
+
+// MaxUniverse bounds the universe size DecodeProcSet accepts, protecting
+// decoders from allocating unbounded memory on corrupt input.
+const MaxUniverse = 1 << 20
+
+// AppendBinary appends the set's wire encoding to b: a uvarint universe
+// size followed by ⌈n/8⌉ bytes of membership bits (little-endian within
+// each byte). The encoding matches ByteSize plus the universe prefix.
+func (s ProcSet) AppendBinary(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(s.n))
+	for i := 0; i < (s.n+7)/8; i++ {
+		b = append(b, byte(s.words[i/8]>>(uint(i%8)*8)))
+	}
+	return b
+}
+
+// DecodeProcSet decodes a set produced by AppendBinary from the front of
+// b, returning the set and the number of bytes consumed.
+func DecodeProcSet(b []byte) (ProcSet, int, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return ProcSet{}, 0, errors.New("protocol: short ProcSet universe")
+	}
+	if n > MaxUniverse {
+		return ProcSet{}, 0, fmt.Errorf("protocol: ProcSet universe %d exceeds limit", n)
+	}
+	s := NewProcSet(int(n))
+	nb := (int(n) + 7) / 8
+	if len(b) < k+nb {
+		return ProcSet{}, 0, errors.New("protocol: short ProcSet bits")
+	}
+	for i := 0; i < nb; i++ {
+		s.words[i/8] |= uint64(b[k+i]) << (uint(i%8) * 8)
+	}
+	// Reject bits beyond the universe: they would silently disappear on
+	// re-encode, breaking round-trip equality guarantees.
+	if nb > 0 {
+		if extra := uint(nb*8 - int(n)); extra > 0 && b[k+nb-1]>>(8-extra) != 0 {
+			return ProcSet{}, 0, errors.New("protocol: ProcSet bits beyond universe")
+		}
+	}
+	return s, k + nb, nil
+}

@@ -46,13 +46,15 @@ func DefaultOptions() Options {
 const (
 	// timerKind is far above any inner protocol's timer kinds.
 	timerKind = 1 << 20
-	ackTag    = "ACK"
-	ackBytes  = 12
+	// AckTag is the control tag of transport acknowledgements.
+	AckTag   = "ACK"
+	ackBytes = 12
 )
 
-// ack is the acknowledgement payload: the envelope id being confirmed.
-type ack struct {
-	id int64
+// Ack is the acknowledgement payload: the envelope id being confirmed.
+// Exported so the real-network runtime (internal/wire) can serialize it.
+type Ack struct {
+	ID int64
 }
 
 type pendingMsg struct {
@@ -117,16 +119,16 @@ func (p *Protocol) OnAppSend(e *protocol.Envelope) {
 
 // OnDeliver implements protocol.Protocol: ack, dedupe, pass through.
 func (p *Protocol) OnDeliver(e *protocol.Envelope) {
-	if e.Kind == protocol.KindCtl && e.CtlTag == ackTag {
-		a := e.Payload.(ack)
-		delete(p.pending, a.id)
+	if e.Kind == protocol.KindCtl && e.CtlTag == AckTag {
+		a := e.Payload.(Ack)
+		delete(p.pending, a.ID)
 		return
 	}
 	// Acknowledge every delivery, including duplicates — the earlier ACK
 	// may itself have been lost.
 	p.env.Send(&protocol.Envelope{
-		Dst: e.Src, Kind: protocol.KindCtl, CtlTag: ackTag,
-		Bytes: ackBytes, Payload: ack{id: e.ID},
+		Dst: e.Src, Kind: protocol.KindCtl, CtlTag: AckTag,
+		Bytes: ackBytes, Payload: Ack{ID: e.ID},
 	})
 	if p.seen[e.ID] {
 		p.env.Count("reliable.dup_dropped", 1)
@@ -164,6 +166,14 @@ func (p *Protocol) Rollback(seq int) {
 	p.pending = map[int64]*pendingMsg{}
 	p.seen = map[int64]bool{}
 	rew.Rollback(seq)
+}
+
+// SetResume forwards the resume-from-checkpoint request to the inner
+// protocol when it supports one (see core.Protocol.SetResume).
+func (p *Protocol) SetResume(seq int) {
+	if r, ok := p.inner.(interface{ SetResume(int) }); ok {
+		r.SetResume(seq)
+	}
 }
 
 // track registers an envelope for retransmission until acknowledged.

@@ -1,0 +1,463 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/core"
+	"ocsml/internal/fsstore"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+	"ocsml/internal/trace"
+	"ocsml/internal/workload"
+)
+
+// ClusterConfig parameterizes an in-process spawn-all cluster: N nodes
+// in one OS process, talking to each other over real localhost TCP
+// connections — the -spawn-all mode of cmd/ocsmld and the harness of
+// the transport integration tests.
+type ClusterConfig struct {
+	N    int
+	Seed int64
+	// Datadir, when non-empty, enables file-backed stable storage (one
+	// fsstore directory per process).
+	Datadir string
+	// Opt configures the OCSML protocol. Intervals are real time here.
+	Opt core.Options
+	// Reliable wraps the protocol with the ack/retransmit middleware,
+	// covering the frames a saturated or reconnecting peer queue drops.
+	Reliable bool
+	// Workload drives the synthetic application.
+	Workload workload.Config
+	// WriteBandwidth models stable-storage service time (bytes/sec).
+	WriteBandwidth int64
+	// Timeout bounds Run.
+	Timeout time.Duration
+	// Drain is how long Run keeps the cluster alive after the workload
+	// completes, letting in-flight finalizations settle.
+	Drain time.Duration
+}
+
+// Cluster is a set of transport nodes sharing one recorder, checkpoint
+// store and counter table, connected by real TCP.
+type Cluster struct {
+	cfg   ClusterConfig
+	Rec   *trace.Recorder
+	Ckpts *checkpoint.Store
+
+	addrs []string
+	nodes []*Node
+	fss   []*fsstore.Store
+	base  time.Time
+	epoch int
+
+	mu       sync.Mutex
+	counters map[string]int64
+	done     []bool
+	doneCh   chan struct{}
+
+	makespan time.Duration
+}
+
+// NewCluster binds N localhost listeners and builds the nodes. Nothing
+// runs until Start.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("transport: cluster needs at least 2 processes")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 500 * time.Millisecond
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		Rec:      trace.NewRecorder(),
+		Ckpts:    checkpoint.NewStore(cfg.N),
+		base:     time.Now(),
+		counters: map[string]int64{},
+		done:     make([]bool, cfg.N),
+		doneCh:   make(chan struct{}, 1),
+		nodes:    make([]*Node, cfg.N),
+		fss:      make([]*fsstore.Store, cfg.N),
+	}
+	listeners := make([]net.Listener, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		c.addrs = append(c.addrs, ln.Addr().String())
+	}
+	for i := 0; i < cfg.N; i++ {
+		if cfg.Datadir != "" {
+			fs, err := fsstore.Open(cfg.Datadir, i, cfg.N)
+			if err != nil {
+				return nil, err
+			}
+			c.fss[i] = fs
+		}
+		n, err := c.buildNode(i, listeners[i], -1, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = n
+	}
+	return c, nil
+}
+
+// buildNode assembles one node (fresh or resuming from a checkpoint).
+func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.Record) (*Node, error) {
+	var proto protocol.Protocol
+	cp := core.New(c.cfg.Opt)
+	if resume >= 0 {
+		cp.SetResume(resume)
+	}
+	proto = cp
+	if c.cfg.Reliable {
+		proto = reliable.Wrap(cp, reliable.Options{})
+	}
+	app := workload.Factory(c.cfg.Workload)(i, c.cfg.N)
+	return NewNode(NodeConfig{
+		ID: i, N: c.cfg.N, Addrs: c.addrs, Listener: ln,
+		Seed: c.cfg.Seed, Epoch: c.epoch,
+		Resume: resume, ResumeRec: rec,
+		Proto: proto, App: app,
+		Rec: c.Rec, Ckpts: c.Ckpts, Count: c.count,
+		FS:             c.fss[i],
+		WriteBandwidth: c.cfg.WriteBandwidth,
+		Base:           c.base,
+		OnDone:         c.nodeDone,
+	})
+}
+
+// Addrs returns the cluster's TCP addresses.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Node returns process i's node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// FS returns process i's on-disk store (nil without a datadir).
+func (c *Cluster) FS(i int) *fsstore.Store { return c.fss[i] }
+
+// Start launches every node.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// WaitDone blocks until every process has completed its workload quota
+// or the deadline passes.
+func (c *Cluster) WaitDone(timeout time.Duration) error {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case <-c.doneCh:
+			if c.allDone() {
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("transport: workload did not complete within %v", timeout)
+		}
+	}
+}
+
+// Run executes the cluster start-to-finish: start, wait for the
+// workload, drain, stop.
+func (c *Cluster) Run() error {
+	c.Start()
+	defer c.Stop()
+	if err := c.WaitDone(c.cfg.Timeout); err != nil {
+		return err
+	}
+	c.makespan = time.Since(c.base)
+	time.Sleep(c.cfg.Drain)
+	return nil
+}
+
+// Stop closes every node.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}
+
+// Kill crashes process i: its node stops abruptly, volatile state (the
+// in-memory protocol state, unflushed tentative checkpoints and logs)
+// is gone; only its fsstore directory survives.
+func (c *Cluster) Kill(i int) {
+	c.nodes[i].Close()
+	c.Rec.Record(trace.Event{T: c.nodes[i].Now(), Kind: trace.KFail, Proc: i, Peer: -1, Seq: -1})
+	c.count("recovery.failures", 1)
+}
+
+// RollbackSurvivors rolls every still-running process back to the
+// recovery line: checkpoints above it are discarded (memory and disk),
+// the protocol and application rewind, and the epoch advances so stale
+// pre-rollback traffic and timers die at the boundary.
+func (c *Cluster) RollbackSurvivors(line int, skip int) error {
+	c.epoch++
+	epoch := c.epoch
+	var wg, swg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for p := 0; p < c.cfg.N; p++ {
+		if p == skip {
+			continue
+		}
+		n := c.nodes[p]
+		rec, ok := c.Ckpts.Proc(p).Get(line)
+		if !ok {
+			return fmt.Errorf("transport: recovery line %d missing on P%d", line, p)
+		}
+		wg.Add(1)
+		n.Post(func() {
+			defer wg.Done()
+			n.epoch = epoch
+			c.Ckpts.Proc(p).TruncateAfter(line)
+			if fs := c.fss[p]; fs != nil {
+				// Disk truncation runs on the storage goroutine, after
+				// any persist already in its queue, so a rolled-back
+				// checkpoint cannot be written back post-truncate.
+				swg.Add(1)
+				ok := n.postStorage(func() {
+					defer swg.Done()
+					if err := fs.TruncateAfter(line); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+					n.persisted = line
+				})
+				if !ok {
+					swg.Done()
+				}
+			}
+			rew, ok := n.cfg.Proto.(protocol.Rewinder)
+			if !ok {
+				panic(fmt.Sprintf("transport: protocol %q cannot roll back", n.cfg.Proto.Name()))
+			}
+			rew.Rollback(line)
+			n.fold = rec.CFEFold
+			n.work = rec.CFEWork
+			n.stall = 0
+			n.deferred = nil
+			n.appDone = false
+			c.clearDone(p)
+			ra, ok := n.cfg.App.(protocol.RewindableApp)
+			if !ok {
+				panic(fmt.Sprintf("transport: application on P%d cannot roll back", p))
+			}
+			ra.Restore(nodeAppCtx{n}, rec.CFEProgress)
+			c.Rec.Record(trace.Event{T: n.Now(), Kind: trace.KRestore, Proc: p, Peer: -1, Seq: line})
+		})
+	}
+	wg.Wait()
+	swg.Wait()
+	c.count("recovery.recoveries", 1)
+	return firstErr
+}
+
+// Restart brings a killed process back from its on-disk store: the
+// listener rebinds the original address, the checkpoint store is
+// reloaded up to the recovery line, and the protocol resumes from it.
+// Call RollbackSurvivors (with the same line) around the restart so the
+// cluster agrees on the recovery line.
+func (c *Cluster) Restart(i, line int) error {
+	fs := c.fss[i]
+	if fs == nil {
+		return fmt.Errorf("transport: restart of P%d needs a datadir", i)
+	}
+	if err := fs.TruncateAfter(line); err != nil {
+		return err
+	}
+	// Rebuild the in-memory view of P_i's durable checkpoints.
+	c.Ckpts.Proc(i).TruncateAfter(-1)
+	man := fs.Manifest()
+	sort.Ints(man.Seqs)
+	var rec checkpoint.Record
+	for _, seq := range man.Seqs {
+		r, err := fs.Load(seq)
+		if err != nil {
+			return err
+		}
+		c.Ckpts.Proc(i).Add(r)
+		if seq == line {
+			rec = r
+		}
+	}
+	if rec.Seq != line && line > 0 {
+		return fmt.Errorf("transport: P%d has no durable checkpoint at line %d", i, line)
+	}
+	ln, err := net.Listen("tcp", c.addrs[i])
+	if err != nil {
+		return err
+	}
+	c.clearDone(i)
+	n, err := c.buildNode(i, ln, line, &rec)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	c.nodes[i] = n
+	n.Start()
+	c.count("recovery.restarts", 1)
+	return nil
+}
+
+// count is the shared counter sink.
+func (c *Cluster) count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Counter reads one counter.
+func (c *Cluster) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Counters returns a copy of the counter table.
+func (c *Cluster) Counters() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Cluster) nodeDone(id int) {
+	c.mu.Lock()
+	c.done[id] = true
+	c.mu.Unlock()
+	select {
+	case c.doneCh <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Cluster) allDone() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cluster) clearDone(i int) {
+	c.mu.Lock()
+	c.done[i] = false
+	c.mu.Unlock()
+}
+
+// CheckGlobals verifies every complete global checkpoint against the
+// recorded trace (same check as the simulator's Result.CheckAllGlobals)
+// and returns the verified sequence numbers.
+func (c *Cluster) CheckGlobals() ([]int, error) {
+	var seqs []int
+	for _, seq := range c.Ckpts.CompleteSeqs() {
+		if seq == 0 {
+			continue
+		}
+		cut, ok := c.Rec.CutAt(c.cfg.N, trace.KFinalize, seq)
+		if !ok {
+			return seqs, fmt.Errorf("transport: no complete cut for seq %d", seq)
+		}
+		rep := c.Rec.CheckCut(cut)
+		if !rep.Consistent() {
+			return seqs, fmt.Errorf("transport: S_%d inconsistent: %d orphan(s)", seq, len(rep.Orphans))
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs, nil
+}
+
+// Report summarizes a cluster run with the simulator's headline metrics
+// plus the wire-level ones only a real network can produce.
+type Report struct {
+	N                 int
+	Completed         bool
+	Makespan          time.Duration
+	GlobalCheckpoints int
+	ConsistentSeqs    []int
+
+	AppMessages     int64
+	ControlMessages int64
+	PiggybackBytes  int64
+	// PiggybackBytesPerMsg is the real per-message piggyback overhead in
+	// encoded bytes (discriminator + csn + stat + tentSet bitmap).
+	PiggybackBytesPerMsg float64
+
+	FramesSent int64
+	FrameBytes int64
+	Reconnects int64
+	Dropped    int64
+
+	LogBytes int64
+	Counters map[string]int64
+}
+
+// Report builds the run summary (call after Run or Stop).
+func (c *Cluster) Report() (*Report, error) {
+	seqs, err := c.CheckGlobals()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		N:              c.cfg.N,
+		Completed:      c.allDone(),
+		Makespan:       c.makespan,
+		ConsistentSeqs: seqs,
+		Counters:       c.Counters(),
+	}
+	for _, s := range seqs {
+		if s > 0 {
+			r.GlobalCheckpoints++
+		}
+	}
+	r.AppMessages = r.Counters["app_msgs"]
+	for name, v := range r.Counters {
+		if strings.HasPrefix(name, "ctl.") {
+			r.ControlMessages += v
+		}
+	}
+	r.PiggybackBytes = r.Counters["wire.piggyback_bytes"]
+	if r.AppMessages > 0 {
+		r.PiggybackBytesPerMsg = float64(r.PiggybackBytes) / float64(r.AppMessages)
+	}
+	for _, n := range c.nodes {
+		st := n.Mesh().Stats()
+		r.FramesSent += st.FramesSent
+		r.FrameBytes += st.BytesSent
+		r.Reconnects += st.Reconnects
+		r.Dropped += st.Dropped
+	}
+	for p := 0; p < c.cfg.N; p++ {
+		for _, rec := range c.Ckpts.Proc(p).All() {
+			r.LogBytes += rec.LogBytes()
+		}
+	}
+	return r, nil
+}

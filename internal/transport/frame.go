@@ -1,0 +1,72 @@
+// Package transport is the real-network runtime: it hosts the same
+// protocol state machines as internal/engine (deterministic simulator)
+// and internal/live (goroutine runtime), but delivers envelopes over
+// actual TCP connections between processes, serialized with the
+// internal/wire codec and persisted with internal/fsstore.
+//
+// Three layers:
+//
+//   - frame.go: length-prefixed framing over a TCP stream.
+//   - mesh.go: the peer mesh — one listener plus N−1 dialed connections
+//     per process, per-peer writer goroutines, reconnect with jittered
+//     exponential backoff.
+//   - node.go / cluster.go: protocol.Env hosts on real time, either as a
+//     standalone daemon process (cmd/ocsmld) or as an in-process
+//     spawn-all cluster that talks to itself over localhost TCP.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame's payload size; a peer announcing a larger
+// frame is corrupt (or hostile) and the connection is dropped rather
+// than the memory allocated.
+const MaxFrame = 1 << 20
+
+// frameHeader is the length prefix size (big-endian uint32).
+const frameHeader = 4
+
+// appendFrame appends the 4-byte length prefix and the payload to buf.
+func appendFrame(buf, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
+	}
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// writeFrame writes one length-prefixed frame to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	buf, err := appendFrame(nil, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r. It returns io.EOF
+// cleanly only when the stream ends exactly on a frame boundary.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

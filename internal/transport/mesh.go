@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MeshConfig parameterizes the TCP peer mesh of one process.
+type MeshConfig struct {
+	// ID is this process's identifier in [0, N).
+	ID int
+	// Addrs maps process id to TCP address; len(Addrs) is N.
+	Addrs []string
+	// Seed drives the backoff jitter (per-peer sources derive from it).
+	Seed int64
+	// DialBackoff is the initial reconnect delay (default 20ms); it
+	// doubles per failure up to DialBackoffCap (default 2s) and resets on
+	// success.
+	DialBackoff    time.Duration
+	DialBackoffCap time.Duration
+	// QueueLen is the per-peer outgoing frame queue (default 8192).
+	// Frames offered to a full queue are dropped and counted — the
+	// reliable middleware recovers them, exactly as it would on a lossy
+	// simulated channel.
+	QueueLen int
+}
+
+// MeshStats are the wire-level counters of one process.
+type MeshStats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
+	// Reconnects counts connections re-established after an established
+	// connection to a peer was lost (first connections don't count).
+	Reconnects int64
+	// Dropped counts frames discarded because a peer's queue was full.
+	Dropped int64
+}
+
+// Mesh is the TCP fabric of one process: a listener accepting inbound
+// connections from every peer, and one outbound connection per peer
+// carrying this process's frames to it (so each ordered pair of
+// processes has its own connection, and a process owns the connections
+// it writes to).
+type Mesh struct {
+	cfg     MeshConfig
+	ln      net.Listener
+	handler func(src int, frame []byte)
+
+	peers []*peer // indexed by process id; peers[ID] is nil
+
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+	reconnects, dropped    atomic.Int64
+}
+
+// peer is the outgoing side toward one process.
+type peer struct {
+	id  int
+	out chan []byte
+}
+
+// NewMesh builds the mesh around an already-bound listener (so a
+// cluster can bind every address before any process starts dialing).
+// handler runs on a connection's reader goroutine; it must either be
+// fast or hand off, and must be safe for concurrent invocation.
+func NewMesh(cfg MeshConfig, ln net.Listener, handler func(src int, frame []byte)) (*Mesh, error) {
+	n := len(cfg.Addrs)
+	if n < 2 || cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("transport: invalid mesh id %d of %d", cfg.ID, n)
+	}
+	if ln == nil {
+		return nil, fmt.Errorf("transport: mesh needs a bound listener")
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 20 * time.Millisecond
+	}
+	if cfg.DialBackoffCap <= 0 {
+		cfg.DialBackoffCap = 2 * time.Second
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 8192
+	}
+	m := &Mesh{
+		cfg:     cfg,
+		ln:      ln,
+		handler: handler,
+		peers:   make([]*peer, n),
+		quit:    make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
+	}
+	for j := 0; j < n; j++ {
+		if j == cfg.ID {
+			continue
+		}
+		m.peers[j] = &peer{id: j, out: make(chan []byte, cfg.QueueLen)}
+	}
+	return m, nil
+}
+
+// Start launches the accept loop and one writer goroutine per peer.
+func (m *Mesh) Start() {
+	m.wg.Add(1)
+	go m.acceptLoop()
+	for _, p := range m.peers {
+		if p == nil {
+			continue
+		}
+		m.wg.Add(1)
+		go m.writerLoop(p)
+	}
+}
+
+// Send enqueues one frame toward dst. A full queue (peer down long
+// enough to exhaust the buffer) drops the frame — the loss is counted
+// and left to the retransmission layer.
+func (m *Mesh) Send(dst int, frame []byte) {
+	p := m.peers[dst]
+	if p == nil {
+		panic(fmt.Sprintf("transport: P%d sending to itself", dst))
+	}
+	select {
+	case p.out <- frame:
+	case <-m.quit:
+	default:
+		m.dropped.Add(1)
+	}
+}
+
+// Close shuts the mesh down: the listener, every open connection, and
+// all goroutines.
+func (m *Mesh) Close() {
+	m.once.Do(func() {
+		close(m.quit)
+		m.ln.Close()
+		m.connsMu.Lock()
+		for c := range m.conns {
+			c.Close()
+		}
+		m.connsMu.Unlock()
+	})
+	m.wg.Wait()
+}
+
+// Stats snapshots the wire counters.
+func (m *Mesh) Stats() MeshStats {
+	return MeshStats{
+		FramesSent: m.framesSent.Load(),
+		FramesRecv: m.framesRecv.Load(),
+		BytesSent:  m.bytesSent.Load(),
+		BytesRecv:  m.bytesRecv.Load(),
+		Reconnects: m.reconnects.Load(),
+		Dropped:    m.dropped.Load(),
+	}
+}
+
+func (m *Mesh) trackConn(c net.Conn) bool {
+	m.connsMu.Lock()
+	defer m.connsMu.Unlock()
+	select {
+	case <-m.quit:
+		c.Close()
+		return false
+	default:
+	}
+	m.conns[c] = struct{}{}
+	return true
+}
+
+func (m *Mesh) untrackConn(c net.Conn) {
+	m.connsMu.Lock()
+	delete(m.conns, c)
+	m.connsMu.Unlock()
+	c.Close()
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per
+// connection.
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !m.trackConn(c) {
+			return
+		}
+		m.wg.Add(1)
+		go m.serveConn(c)
+	}
+}
+
+// serveConn reads the hello frame identifying the dialing peer, then
+// passes every subsequent frame to the handler.
+func (m *Mesh) serveConn(c net.Conn) {
+	defer m.wg.Done()
+	defer m.untrackConn(c)
+	src, err := readHello(c, len(m.cfg.Addrs))
+	if err != nil || src == m.cfg.ID {
+		return
+	}
+	for {
+		frame, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		m.framesRecv.Add(1)
+		m.bytesRecv.Add(int64(len(frame)) + frameHeader)
+		m.handler(src, frame)
+	}
+}
+
+// writerLoop owns the outbound connection to one peer: dial (with
+// jittered exponential backoff), send the hello frame, then drain the
+// queue. A write failure keeps the unsent frame and reconnects.
+func (m *Mesh) writerLoop(p *peer) {
+	defer m.wg.Done()
+	rng := rand.New(rand.NewSource(m.cfg.Seed + int64(m.cfg.ID)*104729 + int64(p.id)*7919))
+	backoff := m.cfg.DialBackoff
+	everConnected := false
+	var conn net.Conn
+	var carry []byte // frame whose write failed, resent first on reconnect
+	defer func() {
+		if conn != nil {
+			m.untrackConn(conn)
+		}
+	}()
+	for {
+		// (Re)establish the connection.
+		for conn == nil {
+			c, err := net.DialTimeout("tcp", m.cfg.Addrs[p.id], backoff+time.Second)
+			if err == nil {
+				err = writeHello(c, m.cfg.ID)
+			}
+			if err != nil {
+				if c != nil {
+					c.Close()
+				}
+				// Jittered exponential backoff: sleep uniform in
+				// [backoff/2, 3*backoff/2), then double up to the cap.
+				d := backoff/2 + time.Duration(rng.Int63n(int64(backoff)+1))
+				select {
+				case <-time.After(d):
+				case <-m.quit:
+					return
+				}
+				if backoff *= 2; backoff > m.cfg.DialBackoffCap {
+					backoff = m.cfg.DialBackoffCap
+				}
+				continue
+			}
+			if !m.trackConn(c) {
+				return
+			}
+			conn = c
+			backoff = m.cfg.DialBackoff // reset on success
+			if everConnected {
+				m.reconnects.Add(1)
+			}
+			everConnected = true
+		}
+
+		// Next frame: the carried-over one first, else wait on the queue.
+		frame := carry
+		if frame == nil {
+			select {
+			case frame = <-p.out:
+			case <-m.quit:
+				return
+			}
+		}
+		if err := writeFrame(conn, frame); err != nil {
+			carry = frame
+			m.untrackConn(conn)
+			conn = nil
+			continue
+		}
+		carry = nil
+		m.framesSent.Add(1)
+		m.bytesSent.Add(int64(len(frame)) + frameHeader)
+	}
+}
+
+// The hello frame opens every outbound connection: a 1-byte version and
+// the dialer's process id as a uvarint, framed like any other payload.
+const helloVersion = 1
+
+func writeHello(c net.Conn, id int) error {
+	buf := binary.AppendUvarint([]byte{helloVersion}, uint64(id))
+	return writeFrame(c, buf)
+}
+
+func readHello(c net.Conn, n int) (int, error) {
+	frame, err := readFrame(c)
+	if err != nil {
+		return -1, err
+	}
+	if len(frame) < 2 || frame[0] != helloVersion {
+		return -1, fmt.Errorf("transport: bad hello frame")
+	}
+	id, k := binary.Uvarint(frame[1:])
+	if k <= 0 || int(id) >= n {
+		return -1, fmt.Errorf("transport: bad hello id")
+	}
+	return int(id), nil
+}

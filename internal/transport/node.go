@@ -1,0 +1,551 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+	"ocsml/internal/fsstore"
+	"ocsml/internal/protocol"
+	"ocsml/internal/trace"
+	"ocsml/internal/wire"
+)
+
+// NodeConfig parameterizes one process of the real-network runtime.
+type NodeConfig struct {
+	ID, N int
+	// Addrs maps process id to TCP address.
+	Addrs []string
+	// Listener is this process's already-bound listener for Addrs[ID].
+	Listener net.Listener
+	// Seed derives the node's deterministic random source.
+	Seed int64
+	// Epoch is the node's starting epoch; envelopes from older epochs
+	// are dropped on delivery (stale pre-rollback traffic).
+	Epoch int
+	// Resume, when >= 0, restarts the protocol from an already-durable
+	// checkpoint with that sequence number (see core.Protocol.SetResume)
+	// and rewinds the application to ResumeRec's recorded progress.
+	Resume    int
+	ResumeRec *checkpoint.Record
+
+	// Proto and App are this process's protocol and application.
+	Proto protocol.Protocol
+	App   protocol.App
+
+	// Rec, Ckpts and Count may be shared across nodes (in-process
+	// cluster) or private (daemon). Count may be nil.
+	Rec   *trace.Recorder
+	Ckpts *checkpoint.Store
+	Count func(name string, delta int64)
+
+	// FS, when non-nil, persists every finalized checkpoint to disk at
+	// the moment the protocol issues its stable-storage write.
+	FS *fsstore.Store
+
+	// WriteBandwidth models the stable-storage service rate in bytes
+	// per second (the real fsync cost of FS comes on top). Default: no
+	// modeled delay.
+	WriteBandwidth int64
+
+	// Base is the shared time origin: Now() = time.Since(Base). Nodes of
+	// one cluster share it so virtual timestamps are comparable; a
+	// restarted node keeps the original base so its clock stays
+	// monotonic across the crash.
+	Base time.Time
+
+	// OnDone fires (once) when the application completes its quota.
+	OnDone func(id int)
+}
+
+// Node hosts one process's protocol + application on real time, with
+// envelope delivery over the TCP mesh. All protocol and application
+// callbacks are serialized on the node's loop goroutine, exactly like
+// the live runtime.
+type Node struct {
+	cfg  NodeConfig
+	mesh *Mesh
+	rng  *rand.Rand
+
+	inbox chan func()
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	storageCh chan storeReq
+	storageQ  atomic.Int32
+
+	idCtr   atomic.Int64
+	started atomic.Bool
+	closed  atomic.Bool
+
+	// Single-goroutine state (loop only).
+	epoch     int
+	fold      uint64
+	work      int64
+	appSeq    int64
+	appDone   bool
+	stall     int
+	deferred  []func()
+	persisted int // highest seq written to FS
+
+	staleDropped atomic.Int64
+	decodeErrors atomic.Int64
+}
+
+type storeReq struct {
+	tag   string
+	bytes int64
+	done  func(start, end des.Time)
+	// fn, when set, is a bare operation serialized with the disk writes
+	// (rollback truncation); the other fields are ignored.
+	fn func()
+}
+
+// NewNode builds a node (not yet started).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.N != len(cfg.Addrs) || cfg.ID < 0 || cfg.ID >= cfg.N {
+		return nil, fmt.Errorf("transport: invalid node id %d of %d (addrs %d)", cfg.ID, cfg.N, len(cfg.Addrs))
+	}
+	if cfg.Proto == nil || cfg.App == nil || cfg.Rec == nil || cfg.Ckpts == nil {
+		return nil, fmt.Errorf("transport: node needs proto, app, recorder and store")
+	}
+	if cfg.Count == nil {
+		cfg.Count = func(string, int64) {}
+	}
+	if cfg.Base.IsZero() {
+		cfg.Base = time.Now()
+	}
+	n := &Node{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
+		inbox:     make(chan func(), 4096),
+		quit:      make(chan struct{}),
+		storageCh: make(chan storeReq, 1024),
+		epoch:     cfg.Epoch,
+		persisted: cfg.Resume,
+	}
+	if cfg.Resume >= 0 && cfg.ResumeRec != nil {
+		n.fold = cfg.ResumeRec.CFEFold
+		n.work = cfg.ResumeRec.CFEWork
+	}
+	mesh, err := NewMesh(MeshConfig{
+		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed,
+	}, cfg.Listener, n.onFrame)
+	if err != nil {
+		return nil, err
+	}
+	n.mesh = mesh
+	return n, nil
+}
+
+// Start launches the node: mesh, loop and storage goroutines, then the
+// protocol and application (or their resumed equivalents).
+func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	n.wg.Add(2)
+	go n.loop()
+	go n.storageLoop()
+	// Protocol start is queued before the mesh begins accepting, so no
+	// delivery can reach OnDeliver ahead of Start.
+	n.post(func() { n.cfg.Proto.Start(n) })
+	if n.cfg.Resume >= 0 {
+		rec := n.cfg.ResumeRec
+		n.post(func() {
+			ra, ok := n.cfg.App.(protocol.RewindableApp)
+			if !ok {
+				panic(fmt.Sprintf("transport: P%d application cannot resume", n.cfg.ID))
+			}
+			ra.Restore(nodeAppCtx{n}, rec.CFEProgress)
+		})
+	} else {
+		n.post(func() { n.cfg.App.Start(nodeAppCtx{n}) })
+	}
+	n.mesh.Start()
+}
+
+// Close stops the node: no further callbacks run, connections drop.
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.quit)
+	n.mesh.Close()
+	n.wg.Wait()
+}
+
+// Mesh exposes the wire fabric (stats).
+func (n *Node) Mesh() *Mesh { return n.mesh }
+
+// StaleDropped counts envelopes dropped at the epoch boundary.
+func (n *Node) StaleDropped() int64 { return n.staleDropped.Load() }
+
+// DecodeErrors counts frames the wire codec rejected.
+func (n *Node) DecodeErrors() int64 { return n.decodeErrors.Load() }
+
+// Post schedules fn on the node's serialized loop (cluster rollback
+// uses it to mutate protocol state safely).
+func (n *Node) Post(fn func()) { n.post(fn) }
+
+// postStorage schedules fn on the storage goroutine, serialized with
+// the disk persistence of finalized checkpoints. Returns false when the
+// node is already shut down (fn will not run).
+func (n *Node) postStorage(fn func()) bool {
+	select {
+	case n.storageCh <- storeReq{fn: fn}:
+		return true
+	case <-n.quit:
+		return false
+	}
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case fn := <-n.inbox:
+			fn()
+		}
+	}
+}
+
+func (n *Node) post(fn func()) {
+	select {
+	case n.inbox <- fn:
+	case <-n.quit:
+	}
+}
+
+// onFrame runs on a mesh reader goroutine: decode, then hop onto the
+// loop for delivery.
+func (n *Node) onFrame(src int, frame []byte) {
+	e, err := wire.Decode(frame)
+	if err != nil {
+		n.decodeErrors.Add(1)
+		n.cfg.Count("wire.decode_errors", 1)
+		return
+	}
+	n.post(func() {
+		if e.Epoch < n.epoch {
+			n.staleDropped.Add(1)
+			n.cfg.Count("wire.stale_dropped", 1)
+			return
+		}
+		if e.Kind == protocol.KindCtl {
+			n.cfg.Rec.Record(trace.Event{
+				T: n.Now(), Kind: trace.KCtlRecv, Proc: n.cfg.ID, Peer: e.Src,
+				MsgID: e.ID, Seq: -1, Tag: e.CtlTag,
+			})
+		}
+		n.cfg.Proto.OnDeliver(e)
+	})
+}
+
+// storageLoop serializes this process's stable-storage writes: the
+// modeled service time (bytes / WriteBandwidth), plus the genuine disk
+// persistence of finalized checkpoints when FS is configured.
+func (n *Node) storageLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case req := <-n.storageCh:
+			if req.fn != nil {
+				req.fn()
+				continue
+			}
+			start := n.Now()
+			if bw := n.cfg.WriteBandwidth; bw > 0 {
+				d := time.Duration(float64(req.bytes) / float64(bw) * float64(time.Second))
+				if d > 0 {
+					select {
+					case <-time.After(d):
+					case <-n.quit:
+						return
+					}
+				}
+			}
+			if n.cfg.FS != nil && req.tag != "ct" {
+				// Finalization flush ("log" / "ct+log"): persist every
+				// finalized-but-unpersisted record with a real fsync.
+				n.persistFinalized()
+			}
+			end := n.Now()
+			n.storageQ.Add(-1)
+			if req.done != nil {
+				done := req.done
+				n.post(func() { done(start, end) })
+			}
+		}
+	}
+}
+
+// persistFinalized writes newly finalized records to the fsstore. Runs
+// on the storage goroutine; the ProcStore is mutex-protected and the
+// persisted watermark is only touched here.
+func (n *Node) persistFinalized() {
+	for _, rec := range n.cfg.Ckpts.Proc(n.cfg.ID).All() {
+		if rec.Seq <= n.persisted || rec.FinalizedAt == 0 {
+			continue
+		}
+		if err := n.cfg.FS.Finalize(rec); err != nil {
+			n.cfg.Count("fsstore.errors", 1)
+			continue
+		}
+		n.persisted = rec.Seq
+		n.cfg.Count("fsstore.finalized", 1)
+	}
+}
+
+var _ protocol.Env = (*Node)(nil)
+
+// ---- protocol.Env ----
+
+// ID implements protocol.Env.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// N implements protocol.Env.
+func (n *Node) N() int { return n.cfg.N }
+
+// Now implements protocol.Env: real time since the shared base.
+func (n *Node) Now() des.Time { return des.Time(time.Since(n.cfg.Base)) }
+
+// Rand implements protocol.Env.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Send implements protocol.Env: stamp, encode with the wire codec, and
+// enqueue the frame at the peer's mesh queue. The real encoded size —
+// not the simulator's synthetic Bytes estimate — is what travels.
+func (n *Node) Send(e *protocol.Envelope) {
+	e.Src = n.cfg.ID
+	if e.ID == 0 {
+		// Globally unique across OS processes: high bits carry the node.
+		e.ID = (int64(n.cfg.ID)+1)<<40 | n.idCtr.Add(1)
+	}
+	e.Epoch = n.epoch
+	e.SentAt = n.Now()
+	if e.Kind == protocol.KindCtl {
+		n.cfg.Count("ctl."+e.CtlTag, 1)
+		n.cfg.Rec.Record(trace.Event{
+			T: e.SentAt, Kind: trace.KCtlSend, Proc: n.cfg.ID, Peer: e.Dst,
+			MsgID: e.ID, Seq: -1, Tag: e.CtlTag,
+		})
+	}
+	frame, err := wire.Encode(e)
+	if err != nil {
+		panic(fmt.Sprintf("transport: P%d cannot encode envelope: %v", n.cfg.ID, err))
+	}
+	if e.Kind == protocol.KindApp {
+		p, _ := wire.PayloadSize(e)
+		n.cfg.Count("wire.piggyback_bytes", int64(p))
+		n.cfg.Count("wire.app_frames", 1)
+	}
+	n.mesh.Send(e.Dst, frame)
+}
+
+// Broadcast implements protocol.Env.
+func (n *Node) Broadcast(e *protocol.Envelope) {
+	for dst := 0; dst < n.cfg.N; dst++ {
+		if dst == n.cfg.ID {
+			continue
+		}
+		cp := *e
+		cp.ID = 0
+		cp.Dst = dst
+		n.Send(&cp)
+	}
+}
+
+// SetTimer implements protocol.Env. Timers from a pre-rollback epoch
+// are dropped at fire time — the equivalent of the simulator's timer
+// invalidation at recovery.
+func (n *Node) SetTimer(d des.Duration, kind, gen int) *des.Timer {
+	epoch := n.epoch
+	time.AfterFunc(time.Duration(d), func() {
+		n.post(func() {
+			if n.epoch == epoch {
+				n.cfg.Proto.OnTimer(kind, gen)
+			}
+		})
+	})
+	return nil
+}
+
+// WriteStable implements protocol.Env.
+func (n *Node) WriteStable(tag string, bytes int64, done func(start, end des.Time)) {
+	n.storageQ.Add(1)
+	select {
+	case n.storageCh <- storeReq{tag: tag, bytes: bytes, done: done}:
+	case <-n.quit:
+	}
+}
+
+// WriteStableBlocking implements protocol.Env.
+func (n *Node) WriteStableBlocking(tag string, bytes int64, done func(start, end des.Time)) {
+	n.StallApp()
+	n.WriteStable(tag, bytes, func(start, end des.Time) {
+		n.ResumeApp()
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// StorageQueueLen implements protocol.Env (this process's local disk).
+func (n *Node) StorageQueueLen() int { return int(n.storageQ.Load()) }
+
+// StallApp implements protocol.Env.
+func (n *Node) StallApp() { n.stall++ }
+
+// ResumeApp implements protocol.Env.
+func (n *Node) ResumeApp() {
+	if n.stall == 0 {
+		panic("transport: ResumeApp without StallApp")
+	}
+	n.stall--
+	if n.stall == 0 {
+		for len(n.deferred) > 0 && n.stall == 0 {
+			fn := n.deferred[0]
+			n.deferred = n.deferred[1:]
+			fn()
+		}
+	}
+}
+
+// StallAppFor implements protocol.Env.
+func (n *Node) StallAppFor(d des.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.StallApp()
+	epoch := n.epoch
+	time.AfterFunc(time.Duration(d), func() {
+		n.post(func() {
+			if n.epoch == epoch {
+				n.ResumeApp()
+			}
+		})
+	})
+}
+
+// Snapshot implements protocol.Env (no copy-cost modeling here).
+func (n *Node) Snapshot() protocol.Snapshot { return n.Peek() }
+
+// Peek implements protocol.Env.
+func (n *Node) Peek() protocol.Snapshot {
+	s := protocol.Snapshot{Bytes: 1 << 20, Fold: n.fold, Work: n.work}
+	if ra, ok := n.cfg.App.(protocol.RewindableApp); ok {
+		s.Progress = ra.Progress()
+	}
+	return s
+}
+
+// DeliverApp implements protocol.Env.
+func (n *Node) DeliverApp(e *protocol.Envelope, pre, then func()) {
+	if n.stall > 0 {
+		n.deferred = append(n.deferred, func() { n.processApp(e, pre, then) })
+		return
+	}
+	n.processApp(e, pre, then)
+}
+
+func (n *Node) processApp(e *protocol.Envelope, pre, then func()) {
+	n.cfg.Rec.Record(trace.Event{
+		T: n.Now(), Kind: trace.KRecv, Proc: n.cfg.ID, Peer: e.Src, MsgID: e.ID, Seq: -1,
+	})
+	n.fold = checkpoint.FoldEvent(n.fold, checkpoint.Received, e.Src, e.Dst, e.App.Tag, e.App.Seq)
+	if pre != nil {
+		pre()
+	}
+	n.cfg.App.OnMessage(nodeAppCtx{n}, e.Src, e.App)
+	if then != nil {
+		then()
+	}
+}
+
+// Checkpoints implements protocol.Env.
+func (n *Node) Checkpoints() *checkpoint.ProcStore { return n.cfg.Ckpts.Proc(n.cfg.ID) }
+
+// Note implements protocol.Env.
+func (n *Node) Note(kind trace.Kind, seq int) {
+	n.cfg.Rec.Record(trace.Event{T: n.Now(), Kind: kind, Proc: n.cfg.ID, Peer: -1, Seq: seq})
+}
+
+// Count implements protocol.Env.
+func (n *Node) Count(name string, delta int64) { n.cfg.Count(name, delta) }
+
+// Draining implements protocol.Env: the real runtime has no drain
+// phase; the cluster simply closes nodes when done.
+func (n *Node) Draining() bool { return false }
+
+// ---- protocol.AppCtx ----
+
+type nodeAppCtx struct{ *Node }
+
+// Send implements protocol.AppCtx.
+func (a nodeAppCtx) Send(dst int, m protocol.AppMsg) {
+	n := a.Node
+	if dst == n.cfg.ID || dst < 0 || dst >= n.cfg.N {
+		panic(fmt.Sprintf("transport: P%d sending to invalid destination %d", n.cfg.ID, dst))
+	}
+	n.appSeq++
+	m.Seq = n.appSeq
+	if m.Tag == 0 {
+		m.Tag = n.rng.Uint64() | 1
+	}
+	e := &protocol.Envelope{
+		Src: n.cfg.ID, Dst: dst,
+		Kind: protocol.KindApp, Bytes: m.Bytes, App: m,
+	}
+	e.ID = (int64(n.cfg.ID)+1)<<40 | n.idCtr.Add(1)
+	n.fold = checkpoint.FoldEvent(n.fold, checkpoint.Sent, n.cfg.ID, dst, m.Tag, m.Seq)
+	n.cfg.Rec.Record(trace.Event{
+		T: n.Now(), Kind: trace.KSend, Proc: n.cfg.ID, Peer: dst, MsgID: e.ID, Seq: -1,
+	})
+	n.cfg.Count("app_msgs", 1)
+	n.cfg.Proto.OnAppSend(e)
+	n.Send(e)
+}
+
+// After implements protocol.AppCtx.
+func (a nodeAppCtx) After(d des.Duration, fn func()) *des.Timer {
+	n := a.Node
+	epoch := n.epoch
+	time.AfterFunc(time.Duration(d), func() {
+		n.post(func() {
+			if n.epoch != epoch {
+				return
+			}
+			if n.stall > 0 {
+				n.deferred = append(n.deferred, fn)
+				return
+			}
+			fn()
+		})
+	})
+	return nil
+}
+
+// DoWork implements protocol.AppCtx.
+func (a nodeAppCtx) DoWork(units int64) { a.Node.work += units }
+
+// Done implements protocol.AppCtx.
+func (a nodeAppCtx) Done() {
+	n := a.Node
+	if n.appDone {
+		return
+	}
+	n.appDone = true
+	if n.cfg.OnDone != nil {
+		n.cfg.OnDone(n.cfg.ID)
+	}
+}

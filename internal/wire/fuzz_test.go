@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzWireRoundTrip mirrors internal/trace/fuzz_test.go for the binary
+// envelope codec: arbitrary input — including truncated and corrupt
+// frames — must never panic, and whatever decodes must survive an
+// encode/decode cycle unchanged (the codec is canonical).
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, e := range sampleEnvelopes() {
+		b, err := Encode(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		if len(b) > 3 {
+			f.Add(b[:len(b)-3]) // truncated frame
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		e, err := Decode(raw)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out, err := Encode(e)
+		if err != nil {
+			t.Fatalf("re-encode of decoded envelope failed: %v (%#v)", err, e)
+		}
+		again, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(e, again) {
+			t.Fatalf("round trip changed envelope:\n got %#v\nwant %#v", again, e)
+		}
+	})
+}

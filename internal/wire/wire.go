@@ -1,0 +1,312 @@
+// Package wire is the versioned binary codec for protocol.Envelope — the
+// serialization layer of the real-network runtime (internal/transport).
+//
+// The simulator accounts wire traffic with the synthetic Envelope.Bytes
+// field; this package produces the actual bytes, so piggyback overhead can
+// finally be measured on a real wire. The encoding is compact (varints
+// everywhere, one bit per process in the tentSet) and versioned: the first
+// byte of every frame is the format version, letting a mixed-version
+// cluster reject frames it cannot parse instead of misinterpreting them.
+//
+// Invariants:
+//
+//   - Decode(Encode(e)) reproduces e exactly (deep equality), for every
+//     envelope the protocols in this repository can emit.
+//   - Decode never panics: truncated, corrupt or oversized input returns
+//     an error.
+//   - EncodedSize(e) == len(Encode(e)), and PayloadSize(e) is the exact
+//     number of encoded bytes attributable to the protocol payload (the
+//     OCSML piggyback block, a control message body, or a transport ACK).
+//
+// Payloads are polymorphic (Envelope.Payload is `any`); the codec knows
+// the concrete types the in-tree protocols use: core.Piggyback,
+// core.CtlMsg and reliable.Ack. Foreign payload types are an encode-time
+// error — a protocol that wants to run on the TCP mesh must register its
+// payload here.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+)
+
+// Version is the current frame format version, the first byte of every
+// encoded envelope.
+const Version = 1
+
+// MaxCtlTag bounds the control-tag string length on the wire.
+const MaxCtlTag = 64
+
+// Payload type discriminators.
+const (
+	ptNone      = 0 // Payload == nil
+	ptPiggyback = 1 // core.Piggyback
+	ptCtlMsg    = 2 // core.CtlMsg
+	ptAck       = 3 // reliable.Ack
+)
+
+// Decode errors. All decode failures wrap one of these (or describe a
+// structural violation); none panic.
+var (
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrVersion   = errors.New("wire: unsupported frame version")
+	ErrPayload   = errors.New("wire: unknown payload type")
+	ErrTrailing  = errors.New("wire: trailing bytes after envelope")
+)
+
+// Encode serializes the envelope into a fresh buffer.
+func Encode(e *protocol.Envelope) ([]byte, error) {
+	return Append(nil, e)
+}
+
+// Append serializes the envelope onto buf, returning the extended buffer.
+func Append(buf []byte, e *protocol.Envelope) ([]byte, error) {
+	if e.Src < 0 || e.Dst < 0 {
+		return nil, fmt.Errorf("wire: negative endpoint %d->%d", e.Src, e.Dst)
+	}
+	if len(e.CtlTag) > MaxCtlTag {
+		return nil, fmt.Errorf("wire: control tag %q exceeds %d bytes", e.CtlTag, MaxCtlTag)
+	}
+	if e.Epoch < 0 {
+		return nil, fmt.Errorf("wire: negative epoch %d", e.Epoch)
+	}
+	buf = append(buf, Version, byte(e.Kind))
+	buf = binary.AppendVarint(buf, e.ID)
+	buf = binary.AppendUvarint(buf, uint64(e.Src))
+	buf = binary.AppendUvarint(buf, uint64(e.Dst))
+	buf = binary.AppendVarint(buf, e.Bytes)
+	buf = binary.AppendVarint(buf, int64(e.SentAt))
+	buf = binary.AppendUvarint(buf, uint64(e.Epoch))
+	buf = binary.AppendUvarint(buf, uint64(len(e.CtlTag)))
+	buf = append(buf, e.CtlTag...)
+	buf = binary.AppendVarint(buf, e.App.Seq)
+	buf = binary.AppendVarint(buf, e.App.Bytes)
+	buf = binary.AppendUvarint(buf, e.App.Tag)
+	return appendPayload(buf, e.Payload)
+}
+
+func appendPayload(buf []byte, payload any) ([]byte, error) {
+	switch p := payload.(type) {
+	case nil:
+		return append(buf, ptNone), nil
+	case core.Piggyback:
+		if p.Csn < 0 {
+			return nil, fmt.Errorf("wire: negative piggyback csn %d", p.Csn)
+		}
+		buf = append(buf, ptPiggyback)
+		buf = binary.AppendUvarint(buf, uint64(p.Csn))
+		buf = append(buf, byte(p.Stat))
+		return p.TentSet.AppendBinary(buf), nil
+	case core.CtlMsg:
+		if p.Csn < 0 {
+			return nil, fmt.Errorf("wire: negative control csn %d", p.Csn)
+		}
+		buf = append(buf, ptCtlMsg)
+		return binary.AppendUvarint(buf, uint64(p.Csn)), nil
+	case reliable.Ack:
+		buf = append(buf, ptAck)
+		return binary.AppendVarint(buf, p.ID), nil
+	default:
+		return nil, fmt.Errorf("wire: unregistered payload type %T", payload)
+	}
+}
+
+// EncodedSize returns the exact length Encode would produce.
+func EncodedSize(e *protocol.Envelope) (int, error) {
+	b, err := Encode(e)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// PayloadSize returns the exact number of encoded bytes the protocol
+// payload occupies on the wire (discriminator byte included) — the real
+// piggyback overhead of an application message, or the body size of a
+// control message.
+func PayloadSize(e *protocol.Envelope) (int, error) {
+	b, err := appendPayload(nil, e.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// reader is a bounds-checked cursor over an encoded frame.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, k := binary.Uvarint(r.b[r.off:])
+	if k <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += k
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, k := binary.Varint(r.b[r.off:])
+	if k <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += k
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.b)-r.off < n {
+		return nil, ErrTruncated
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// Decode parses one envelope from data. The entire input must be consumed:
+// trailing bytes are an error (frames are already delimited by the
+// transport's length prefix). Corrupt input returns an error, never
+// panics.
+func Decode(data []byte) (*protocol.Envelope, error) {
+	r := &reader{b: data}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, ver, Version)
+	}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind > byte(protocol.KindCtl) {
+		return nil, fmt.Errorf("wire: invalid kind %d", kind)
+	}
+	e := &protocol.Envelope{Kind: protocol.Kind(kind)}
+	if e.ID, err = r.varint(); err != nil {
+		return nil, err
+	}
+	src, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if src > protocol.MaxUniverse || dst > protocol.MaxUniverse {
+		return nil, fmt.Errorf("wire: endpoint out of range %d->%d", src, dst)
+	}
+	e.Src, e.Dst = int(src), int(dst)
+	if e.Bytes, err = r.varint(); err != nil {
+		return nil, err
+	}
+	sentAt, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	e.SentAt = des.Time(sentAt)
+	epoch, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if epoch > 1<<30 {
+		return nil, fmt.Errorf("wire: epoch %d out of range", epoch)
+	}
+	e.Epoch = int(epoch)
+	tagLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if tagLen > MaxCtlTag {
+		return nil, fmt.Errorf("wire: control tag length %d exceeds %d", tagLen, MaxCtlTag)
+	}
+	tag, err := r.bytes(int(tagLen))
+	if err != nil {
+		return nil, err
+	}
+	e.CtlTag = string(tag)
+	if e.App.Seq, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if e.App.Bytes, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if e.App.Tag, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if e.Payload, err = decodePayload(r); err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(data)-r.off)
+	}
+	return e, nil
+}
+
+func decodePayload(r *reader) (any, error) {
+	pt, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch pt {
+	case ptNone:
+		return nil, nil
+	case ptPiggyback:
+		csn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if csn > 1<<40 {
+			return nil, fmt.Errorf("wire: piggyback csn %d out of range", csn)
+		}
+		stat, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if stat > byte(core.Tentative) {
+			return nil, fmt.Errorf("wire: invalid piggyback status %d", stat)
+		}
+		set, k, err := protocol.DecodeProcSet(r.b[r.off:])
+		if err != nil {
+			return nil, err
+		}
+		r.off += k
+		return core.Piggyback{Csn: int(csn), Stat: core.Status(stat), TentSet: set}, nil
+	case ptCtlMsg:
+		csn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if csn > 1<<40 {
+			return nil, fmt.Errorf("wire: control csn %d out of range", csn)
+		}
+		return core.CtlMsg{Csn: int(csn)}, nil
+	case ptAck:
+		id, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return reliable.Ack{ID: id}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrPayload, pt)
+	}
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"ocsml/internal/core"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+)
+
+// sampleEnvelopes covers every envelope shape the in-tree protocols emit.
+func sampleEnvelopes() []*protocol.Envelope {
+	set4 := protocol.NewProcSet(4)
+	set4.Add(0)
+	set4.Add(2)
+	full9 := protocol.NewProcSet(9)
+	for i := 0; i < 9; i++ {
+		full9.Add(i)
+	}
+	return []*protocol.Envelope{
+		{ // application message with OCSML piggyback
+			ID: 42, Src: 1, Dst: 3, Kind: protocol.KindApp,
+			Bytes: 2048 + 6, SentAt: 123456789, Epoch: 2,
+			App:     protocol.AppMsg{Seq: 7, Bytes: 2048, Tag: 0xdeadbeefcafe},
+			Payload: core.Piggyback{Csn: 5, Stat: core.Tentative, TentSet: set4},
+		},
+		{ // piggyback with a non-multiple-of-8 universe
+			ID: 1, Src: 8, Dst: 0, Kind: protocol.KindApp,
+			App:     protocol.AppMsg{Seq: 1, Bytes: 1, Tag: 1},
+			Payload: core.Piggyback{Csn: 0, Stat: core.Normal, TentSet: full9},
+		},
+		{ // control message
+			ID: 99, Src: 2, Dst: 0, Kind: protocol.KindCtl, CtlTag: core.TagBGN,
+			Bytes: 8, SentAt: 1, Payload: core.CtlMsg{Csn: 3},
+		},
+		{ // transport acknowledgement
+			ID: 7, Src: 0, Dst: 1, Kind: protocol.KindCtl, CtlTag: reliable.AckTag,
+			Bytes: 12, Payload: reliable.Ack{ID: -1 << 40},
+		},
+		{ // bare envelope, no payload
+			ID: 3, Src: 0, Dst: 1, Kind: protocol.KindApp,
+			App: protocol.AppMsg{Seq: 2, Bytes: 64, Tag: 9},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for i, e := range sampleEnvelopes() {
+		b, err := Encode(e)
+		if err != nil {
+			t.Fatalf("envelope %d: encode: %v", i, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("envelope %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("envelope %d round trip mismatch:\n got %#v\nwant %#v", i, got, e)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	for i, e := range sampleEnvelopes() {
+		b, err := Encode(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := EncodedSize(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(b) {
+			t.Fatalf("envelope %d: EncodedSize %d != len(Encode) %d", i, n, len(b))
+		}
+		p, err := PayloadSize(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 1 || p > n {
+			t.Fatalf("envelope %d: payload size %d outside frame size %d", i, p, n)
+		}
+		// Stripping the payload must shrink the frame by exactly the
+		// payload body (both keep a 1-byte discriminator).
+		bare := *e
+		bare.Payload = nil
+		bn, err := EncodedSize(&bare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n-bn != p-1 {
+			t.Fatalf("envelope %d: payload accounting off: full=%d bare=%d payload=%d", i, n, bn, p)
+		}
+	}
+}
+
+func TestPiggybackRealBytes(t *testing.T) {
+	// The simulator charges 5 + ceil(N/8) synthetic bytes per piggyback;
+	// the real codec must stay in the same ballpark (varints make it
+	// smaller for small csn values).
+	set := protocol.NewProcSet(16)
+	set.Add(0)
+	set.Add(15)
+	e := &protocol.Envelope{
+		ID: 1, Src: 0, Dst: 1, Kind: protocol.KindApp,
+		App:     protocol.AppMsg{Seq: 1, Bytes: 1024, Tag: 5},
+		Payload: core.Piggyback{Csn: 12, Stat: core.Tentative, TentSet: set},
+	}
+	p, err := PayloadSize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 discriminator + 1 csn + 1 stat + 1 universe + 2 bits = 6 bytes.
+	if p != 6 {
+		t.Fatalf("piggyback payload size = %d, want 6", p)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := Encode(sampleEnvelopes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad version":  {99, 0, 0},
+		"bad kind":     {Version, 7},
+		"truncated":    valid[:len(valid)/2],
+		"trailing":     append(append([]byte{}, valid...), 0),
+		"bad payload":  {Version, 0, 2, 1, 3, 2, 2, 2, 0, 2, 2, 2, 250},
+		"only version": {Version},
+	}
+	for name, in := range cases {
+		if _, err := Decode(in); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestOversizedCtlTagRejected(t *testing.T) {
+	e := sampleEnvelopes()[2]
+	e.CtlTag = string(make([]byte, MaxCtlTag+1))
+	if _, err := Encode(e); err == nil {
+		t.Fatal("encode accepted oversized control tag")
+	}
+}
+
+func TestForeignPayloadRejected(t *testing.T) {
+	e := &protocol.Envelope{Src: 0, Dst: 1, Payload: struct{ X int }{1}}
+	if _, err := Encode(e); err == nil {
+		t.Fatal("encode accepted unregistered payload type")
+	}
+}
