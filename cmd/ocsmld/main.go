@@ -73,6 +73,8 @@ func main() {
 		drain     = flag.Duration("drain", 750*time.Millisecond, "settle time after the workload completes")
 		reliableF = flag.Bool("reliable", true, "ack/retransmit middleware (covers frames lost to reconnects)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		chaos     = flag.Bool("chaos", false, "run one seeded fault-injection round (drops, delays, partitions, kill+restart) and verify the consistency invariants")
+		chaosFor  = flag.Duration("chaos-for", 1500*time.Millisecond, "fault-phase length for -chaos")
 	)
 	flag.Parse()
 
@@ -88,11 +90,51 @@ func main() {
 	opt.Timeout = des.Duration(*timeout)
 	wl := workload.Config{Pattern: pat, Steps: *steps, Think: des.Duration(*think), MsgBytes: *msgBytes}
 
+	if *chaos {
+		runChaos(*n, *seed, *datadir, *chaosFor, *jsonOut)
+		return
+	}
 	if *spawnAll {
 		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
 		return
 	}
 	runDaemon(*id, *peers, *datadir, *resume, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
+}
+
+// runChaos is -chaos: one seeded fault-injection round against a live
+// localhost TCP cluster. Everything printed to stdout is a pure function
+// of (-n, -seed, -chaos-for), so two runs with the same flags emit
+// byte-identical schedules and invariant reports; timing-dependent fault
+// counters go to stderr.
+func runChaos(n int, seed int64, datadir string, faultFor time.Duration, jsonOut bool) {
+	if datadir == "" {
+		tmp, err := os.MkdirTemp("", "ocsml-chaos-*")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer os.RemoveAll(tmp)
+		datadir = tmp
+	}
+	cfg := transport.DefaultChaosConfig(n, seed, datadir, faultFor)
+	rep, err := transport.RunChaos(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ocsmld: faults dropped=%d partitioned=%d dup=%d delayed=%d reordered=%d passed=%d\n",
+		rep.FaultStats.Dropped, rep.FaultStats.Partitioned, rep.FaultStats.Duplicated,
+		rep.FaultStats.Delayed, rep.FaultStats.Reordered, rep.FaultStats.Passed)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
 }
 
 // runCluster is -spawn-all: the whole cluster in one OS process, nodes

@@ -1,0 +1,104 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGenerateDeterministic is the reproducibility contract: one seed,
+// one schedule, byte for byte.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		p := DefaultProfile(4, 2*time.Second)
+		a := Generate(seed, p)
+		b := Generate(seed, p)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: schedules differ:\n%s\nvs\n%s", seed, a, b)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: structs differ", seed)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("seed %d: fingerprints differ", seed)
+		}
+	}
+	if Generate(1, DefaultProfile(4, 2*time.Second)).String() ==
+		Generate(2, DefaultProfile(4, 2*time.Second)).String() {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+// TestGenerateBounds checks every generated fault stays inside the
+// profile's envelope: windows within the duration, probabilities within
+// their caps, endpoints valid and never self-links.
+func TestGenerateBounds(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		p := DefaultProfile(5, 3*time.Second)
+		p.Crashes = 2
+		s := Generate(seed, p)
+		if len(s.Links) != p.LinkFaults || len(s.Parts) != p.Partitions || len(s.Crashes) != p.Crashes {
+			t.Fatalf("seed %d: fault counts %d/%d/%d", seed, len(s.Links), len(s.Parts), len(s.Crashes))
+		}
+		for _, f := range s.Links {
+			if f.Src == f.Dst || f.Src < 0 || f.Dst < 0 || f.Src >= p.N || f.Dst >= p.N {
+				t.Fatalf("seed %d: bad link endpoints %v", seed, f)
+			}
+			if f.From < 0 || f.To <= f.From || f.To > p.Duration {
+				t.Fatalf("seed %d: link window out of range %v", seed, f)
+			}
+			if f.Drop < 0 || f.Drop > p.MaxDrop || f.Dup < 0 || f.Dup > p.MaxDup {
+				t.Fatalf("seed %d: link probabilities out of range %v", seed, f)
+			}
+		}
+		for _, pt := range s.Parts {
+			if pt.A >= pt.B || pt.A < 0 || pt.B >= p.N {
+				t.Fatalf("seed %d: bad partition pair %v", seed, pt)
+			}
+		}
+		for i, c := range s.Crashes {
+			if c.Proc < 0 || c.Proc >= p.N || c.At <= 0 || c.Down <= 0 {
+				t.Fatalf("seed %d: bad crash %v", seed, c)
+			}
+			if i > 0 && s.Crashes[i-1].At+s.Crashes[i-1].Down >= c.At {
+				t.Fatalf("seed %d: overlapping crash windows %v then %v", seed, s.Crashes[i-1], c)
+			}
+		}
+	}
+}
+
+// TestScheduleJSONRoundTrip: schedules are uploaded as CI artifacts, so
+// they must survive JSON.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := Generate(7, DefaultProfile(4, 2*time.Second))
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Fatalf("round trip changed schedule:\n%v\nvs\n%v", s, &back)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{From: 100 * time.Millisecond, To: 200 * time.Millisecond}
+	for _, tc := range []struct {
+		t    time.Duration
+		want bool
+	}{
+		{0, false},
+		{100 * time.Millisecond, true},
+		{150 * time.Millisecond, true},
+		{200 * time.Millisecond, false},
+		{time.Second, false},
+	} {
+		if got := w.Contains(tc.t); got != tc.want {
+			t.Fatalf("Contains(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"ocsml/internal/checkpoint"
@@ -74,6 +75,13 @@ func ProcDir(datadir string, proc int) string {
 // Open creates (or reopens) the store for one process. An existing
 // manifest is loaded, so a restarted process sees what it had finalized
 // before the crash.
+//
+// Open is also the crash-recovery entry point: temp files left by a
+// crash between an atomic write and its rename (a torn manifest or
+// checkpoint mid-flight) are deleted — the rename never happened, so
+// they are invisible garbage that must not fail the restart — and a
+// manifest that is itself unreadable is rebuilt from the checkpoint
+// files that verify on disk.
 func Open(datadir string, proc, n int) (*Store, error) {
 	if proc < 0 || n < 2 || proc >= n {
 		return nil, fmt.Errorf("fsstore: invalid proc %d of %d", proc, n)
@@ -83,6 +91,9 @@ func Open(datadir string, proc, n int) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, proc: proc, n: n, man: Manifest{Proc: proc, N: n}}
+	if err := s.clearDebris(); err != nil {
+		return nil, err
+	}
 	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
 	switch {
 	case os.IsNotExist(err):
@@ -92,13 +103,67 @@ func Open(datadir string, proc, n int) (*Store, error) {
 	}
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("fsstore: corrupt manifest in %s: %w", dir, err)
+		// Torn/partially written manifest: recover what the disk can
+		// prove instead of failing the restart.
+		if err := s.rebuildManifest(); err != nil {
+			return nil, fmt.Errorf("fsstore: corrupt manifest in %s and rebuild failed: %w", dir, err)
+		}
+		return s, nil
 	}
 	if m.Proc != proc {
 		return nil, fmt.Errorf("fsstore: manifest in %s belongs to P%d, not P%d", dir, m.Proc, proc)
 	}
 	s.man = m
 	return s, nil
+}
+
+// clearDebris removes temp files a crash may have stranded (writeAtomic
+// names them ".tmp-*"; only a completed rename makes data visible).
+func (s *Store) clearDebris() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildManifest reconstructs the manifest from the checkpoint files on
+// disk: a sequence number is recovered only if its state file parses and
+// its message log is complete (the durability protocol writes both
+// before the manifest, so every previously manifested checkpoint
+// verifies; a checkpoint whose manifest commit was interrupted verifies
+// too and is safely re-admitted). The rebuilt manifest is written back
+// atomically.
+func (s *Store) rebuildManifest() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	man := Manifest{Proc: s.proc, N: s.n}
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "ckpt_%06d.json", &seq); err != nil {
+			continue
+		}
+		if _, err := s.Load(seq); err != nil {
+			continue // torn checkpoint or log: not provably durable
+		}
+		man.Seqs = append(man.Seqs, seq)
+	}
+	sort.Ints(man.Seqs)
+	s.man = man
+	mdata, err := json.MarshalIndent(&s.man, "", " ")
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(filepath.Join(s.dir, "MANIFEST.json"), mdata)
 }
 
 // Dir returns the process's storage directory.
@@ -354,18 +419,49 @@ func RecoverStore(datadir string, n int) (*checkpoint.Store, error) {
 
 // LastCompleteSeq intersects the manifests of all n processes and returns
 // the highest sequence number every process has durably finalized — the
-// last global checkpoint S_k on disk — or -1 if none exists.
+// last global checkpoint S_k on disk — or -1 if none exists. It is a
+// true intersection: a sequence number counts only if present in every
+// manifest, so gaps (possible after a torn-manifest rebuild) cannot
+// surface a line some process lacks.
 func LastCompleteSeq(datadir string, n int) (int, error) {
-	best := -1
+	count := map[int]int{}
 	for p := 0; p < n; p++ {
 		s, err := Open(datadir, p, n)
 		if err != nil {
 			return -1, err
 		}
-		last := s.LastSeq()
-		if p == 0 || last < best {
-			best = last
+		for _, q := range s.Manifest().Seqs {
+			count[q]++
+		}
+	}
+	best := -1
+	for q, c := range count {
+		if c == n && q > best {
+			best = q
 		}
 	}
 	return best, nil
+}
+
+// CompleteSeqs returns every sequence number present in all n manifests,
+// ascending — the durable global checkpoints S_k the datadir can prove.
+func CompleteSeqs(datadir string, n int) ([]int, error) {
+	count := map[int]int{}
+	for p := 0; p < n; p++ {
+		s, err := Open(datadir, p, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range s.Manifest().Seqs {
+			count[q]++
+		}
+	}
+	var seqs []int
+	for q, c := range count {
+		if c == n {
+			seqs = append(seqs, q)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
 }

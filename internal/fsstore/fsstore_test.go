@@ -148,15 +148,18 @@ func TestRecoverStoreAndLastCompleteSeq(t *testing.T) {
 	}
 }
 
-func TestCorruptManifestRejected(t *testing.T) {
+func TestForeignManifestRejected(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Open(dir, 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(ProcDir(dir, 0), "MANIFEST.json"), []byte("{nope"), 0o644); err != nil {
+	// A parseable manifest belonging to another process is an operator
+	// error (datadir mixup), not crash debris — it must fail the open.
+	if err := os.WriteFile(filepath.Join(ProcDir(dir, 0), "MANIFEST.json"),
+		[]byte(`{"proc":1,"n":2,"seqs":[1]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, 0, 2); err == nil {
-		t.Fatal("corrupt manifest accepted")
+		t.Fatal("foreign manifest accepted")
 	}
 }

@@ -1,0 +1,342 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/faultnet"
+	"ocsml/internal/fsstore"
+	"ocsml/internal/trace"
+	"ocsml/internal/workload"
+)
+
+// ChaosConfig parameterizes one chaos run: a live TCP cluster driven
+// under a seeded fault schedule, then checked against the paper's
+// invariants.
+type ChaosConfig struct {
+	// Cluster is the base cluster; Datadir is required (crash/restart
+	// needs durable storage) and Cluster.Seed seeds the fault schedule,
+	// the injector's per-link streams, and every node RNG.
+	Cluster ClusterConfig
+	// Profile bounds the generated schedule. Zero value: DefaultProfile
+	// over 2s.
+	Profile faultnet.Profile
+	// Converge bounds each wait for the cluster to finalize a new
+	// durable global checkpoint (default 20s).
+	Converge time.Duration
+}
+
+// DefaultChaosConfig is the standard chaos rig: n processes, endless
+// uniform workload, fast checkpoint cadence, drop/partition/crash
+// faults over faultFor.
+func DefaultChaosConfig(n int, seed int64, datadir string, faultFor time.Duration) ChaosConfig {
+	return ChaosConfig{
+		Cluster: ClusterConfig{
+			N:       n,
+			Seed:    seed,
+			Datadir: datadir,
+			Opt: core.Options{
+				Interval: 150 * des.Duration(time.Millisecond),
+				Timeout:  60 * des.Duration(time.Millisecond),
+				SkipREQ:  true,
+			},
+			Reliable: true,
+			Workload: workload.Config{
+				Pattern:  workload.UniformRandom,
+				Steps:    1 << 30, // effectively endless; the runner stops the cluster
+				Think:    4 * des.Duration(time.Millisecond),
+				MsgBytes: 256,
+			},
+			WriteBandwidth: 64 << 20,
+			Timeout:        5 * time.Minute,
+			Drain:          500 * time.Millisecond,
+		},
+		Profile:  faultnet.DefaultProfile(n, faultFor),
+		Converge: 20 * time.Second,
+	}
+}
+
+// Invariant is one verified property of a chaos run.
+type Invariant struct {
+	Name   string
+	OK     bool
+	Detail string `json:",omitempty"`
+}
+
+// ChaosReport is the outcome of a chaos run. Its Render output contains
+// only seed-determined data (the schedule, the invariant verdicts, the
+// restart count), so two runs with the same seed print identical
+// reports; timing-dependent diagnostics live in Counters and FaultStats,
+// excluded from both Render and the JSON form.
+type ChaosReport struct {
+	Seed       int64
+	Schedule   *faultnet.Schedule
+	Restarts   int
+	Invariants []Invariant
+
+	Counters   map[string]int64 `json:"-"`
+	FaultStats faultnet.Stats   `json:"-"`
+}
+
+// OK reports whether every invariant held.
+func (r *ChaosReport) OK() bool {
+	for _, iv := range r.Invariants {
+		if !iv.OK {
+			return false
+		}
+	}
+	return len(r.Invariants) > 0
+}
+
+// Render prints the deterministic report: schedule, restarts, verdicts.
+func (r *ChaosReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d fingerprint=%016x\n", r.Seed, r.Schedule.Fingerprint())
+	b.WriteString(r.Schedule.String())
+	fmt.Fprintf(&b, "restarts %d\n", r.Restarts)
+	for _, iv := range r.Invariants {
+		verdict := "OK"
+		if !iv.OK {
+			verdict = "FAIL " + iv.Detail
+		}
+		fmt.Fprintf(&b, "invariant %-28s %s\n", iv.Name, verdict)
+	}
+	if r.OK() {
+		b.WriteString("result PASS\n")
+	} else {
+		b.WriteString("result FAIL\n")
+	}
+	return b.String()
+}
+
+// RunChaos executes one seeded chaos run: generate the schedule, wire
+// the injector into every mesh, run the cluster while executing the
+// crash plan, then verify the three invariants the paper's recovery
+// argument rests on:
+//
+//  1. no-orphans: every durable global checkpoint S_k (intersection of
+//     the fsstore manifests) is a consistent cut of the actually
+//     delivered application messages — no message received inside S_k
+//     was sent outside it (Theorem 2).
+//  2. exactly-once-replay: every durable record replay-validates
+//     (FoldLog(Fold, Log) == CFEFold) and no record logs the same
+//     delivery twice — duplicated frames must not reach the
+//     application or the log twice.
+//  3. post-restart-convergence: after every kill+restart the cluster
+//     finalizes a new durable global checkpoint beyond the recovery
+//     line.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Cluster.Datadir == "" {
+		return nil, fmt.Errorf("transport: chaos needs a datadir (crash/restart requires durable storage)")
+	}
+	if cfg.Profile.N == 0 {
+		cfg.Profile = faultnet.DefaultProfile(cfg.Cluster.N, 2*time.Second)
+	}
+	if cfg.Profile.N != cfg.Cluster.N {
+		return nil, fmt.Errorf("transport: profile n=%d != cluster n=%d", cfg.Profile.N, cfg.Cluster.N)
+	}
+	if cfg.Converge <= 0 {
+		cfg.Converge = 20 * time.Second
+	}
+	sched := faultnet.Generate(cfg.Cluster.Seed, cfg.Profile)
+	inj := faultnet.NewInjector(sched)
+	cfg.Cluster.Hook = inj.Apply
+
+	c, err := NewCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChaosReport{Seed: cfg.Cluster.Seed, Schedule: sched}
+	inj.Activate(c.base)
+	c.Start()
+	defer c.Stop()
+
+	datadir, n := cfg.Cluster.Datadir, cfg.Cluster.N
+	convergeOK := true
+	var convergeDetail string
+	for _, cr := range sched.Crashes {
+		sleepUntil(c.base, cr.At)
+		// A rollback needs a durable recovery line; wait for the first
+		// complete global checkpoint if the cluster hasn't one yet.
+		if _, err := waitLineAtLeast(datadir, n, 1, cfg.Converge); err != nil {
+			return rep, fmt.Errorf("before crash of P%d: %w", cr.Proc, err)
+		}
+		c.Kill(cr.Proc)
+		time.Sleep(50 * time.Millisecond) // let in-flight traffic hit the dead socket
+		if cr.TearTemp {
+			if err := tearTemp(datadir, cr.Proc); err != nil {
+				return rep, err
+			}
+		}
+		if cr.Down > 0 {
+			time.Sleep(cr.Down)
+		}
+		line, err := fsstore.LastCompleteSeq(datadir, n)
+		if err != nil {
+			return rep, err
+		}
+		if err := c.RollbackSurvivors(line, cr.Proc); err != nil {
+			return rep, fmt.Errorf("rollback to line %d: %w", line, err)
+		}
+		if err := c.Restart(cr.Proc, line); err != nil {
+			return rep, fmt.Errorf("restart of P%d at line %d: %w", cr.Proc, line, err)
+		}
+		rep.Restarts++
+		if _, err := waitLineAtLeast(datadir, n, line+1, cfg.Converge); err != nil {
+			convergeOK = false
+			convergeDetail = fmt.Sprintf("after restart of P%d: no durable checkpoint beyond line %d", cr.Proc, line)
+		}
+	}
+
+	// Outlive every fault window, then let finalizations settle.
+	sleepUntil(c.base, sched.Duration)
+	time.Sleep(cfg.Cluster.Drain)
+	c.Stop()
+
+	orphans := verifyNoOrphans(datadir, n, c.Rec)
+	replay := verifyExactlyOnceReplay(datadir, n)
+	rep.Invariants = []Invariant{
+		orphans,
+		replay,
+		{Name: "post-restart-convergence", OK: convergeOK, Detail: convergeDetail},
+	}
+	rep.Counters = c.Counters()
+	rep.FaultStats = inj.Stats()
+	return rep, nil
+}
+
+// verifyNoOrphans checks invariant 1: each durable global checkpoint,
+// recovered purely from the fsstore manifests, must be a consistent cut
+// of the recorded application-message trace.
+func verifyNoOrphans(datadir string, n int, rec *trace.Recorder) Invariant {
+	iv := Invariant{Name: "no-orphans"}
+	seqs, err := fsstore.CompleteSeqs(datadir, n)
+	if err != nil {
+		iv.Detail = err.Error()
+		return iv
+	}
+	for _, seq := range seqs {
+		if seq == 0 {
+			continue
+		}
+		cut, ok := rec.CutAt(n, trace.KFinalize, seq)
+		if !ok {
+			iv.Detail = fmt.Sprintf("durable S_%d has no complete finalize cut in the trace", seq)
+			return iv
+		}
+		if rep := rec.CheckCut(cut); !rep.Consistent() {
+			iv.Detail = fmt.Sprintf("S_%d has %d orphan message(s)", seq, len(rep.Orphans))
+			return iv
+		}
+	}
+	iv.OK = true
+	return iv
+}
+
+// verifyExactlyOnceReplay checks invariant 2 over every durable record:
+// replaying the message log from the restored tentative checkpoint must
+// reproduce the CFE state fold exactly, and no record may log one
+// delivery twice (a duplicated frame that leaked past the dedup layer
+// would appear as a repeated (dir, src, tag, appSeq) entry).
+func verifyExactlyOnceReplay(datadir string, n int) Invariant {
+	iv := Invariant{Name: "exactly-once-replay"}
+	for p := 0; p < n; p++ {
+		s, err := fsstore.Open(datadir, p, n)
+		if err != nil {
+			iv.Detail = err.Error()
+			return iv
+		}
+		for _, seq := range s.Manifest().Seqs {
+			r, err := s.Load(seq)
+			if err != nil {
+				iv.Detail = err.Error()
+				return iv
+			}
+			if got := checkpoint.FoldLog(r.Fold, r.Log); got != r.CFEFold {
+				iv.Detail = fmt.Sprintf("P%d seq %d: replay fold %#x != CFE fold %#x", p, seq, got, r.CFEFold)
+				return iv
+			}
+			type key struct {
+				dir      checkpoint.Direction
+				src, dst int
+				tag      uint64
+				appSeq   int64
+			}
+			seen := map[key]bool{}
+			for _, m := range r.Log {
+				k := key{m.Dir, m.Src, m.Dst, m.Tag, m.AppSeq}
+				if seen[k] {
+					iv.Detail = fmt.Sprintf("P%d seq %d: message (src=%d appSeq=%d) logged twice", p, seq, m.Src, m.AppSeq)
+					return iv
+				}
+				seen[k] = true
+			}
+		}
+	}
+	iv.OK = true
+	return iv
+}
+
+// tearTemp plants the debris of a crash between an atomic write and its
+// rename: a partially written manifest in a ".tmp-" file inside the
+// victim's store directory. fsstore.Open must discard it on restart.
+func tearTemp(datadir string, proc int) error {
+	dir := fsstore.ProcDir(datadir, proc)
+	man, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		man = []byte(`{"proc":0,"n":0,"seqs":[1,2,`)
+	}
+	torn := man[:len(man)/2] // cut mid-JSON: unparseable by construction
+	return os.WriteFile(filepath.Join(dir, ".tmp-chaos-torn"), torn, 0o644)
+}
+
+// sleepUntil sleeps until the chaos timeline (anchored at base) reaches
+// at; it returns immediately if that instant already passed.
+func sleepUntil(base time.Time, at time.Duration) {
+	if d := at - time.Since(base); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// waitLineAtLeast polls the durable manifests until their intersection
+// reaches want, returning the line found.
+func waitLineAtLeast(datadir string, n, want int, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		line, err := fsstore.LastCompleteSeq(datadir, n)
+		if err != nil {
+			return -1, err
+		}
+		if line >= want {
+			return line, nil
+		}
+		if time.Now().After(deadline) {
+			return line, fmt.Errorf("transport: durable line %d did not reach %d within %v", line, want, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// WriteArtifact saves the schedule and rendered report as JSON+text next
+// to each other — the failing-seed artifact the soak CI job uploads.
+func (r *ChaosReport) WriteArtifact(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d", r.Seed))
+	if err := os.WriteFile(base+".json", raw, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(base+".txt", []byte(r.Render()), 0o644)
+}

@@ -41,6 +41,9 @@ type ClusterConfig struct {
 	// Drain is how long Run keeps the cluster alive after the workload
 	// completes, letting in-flight finalizations settle.
 	Drain time.Duration
+	// Hook, when non-nil, filters every outgoing frame of every node —
+	// the chaos runner's fault-injection point (internal/faultnet).
+	Hook SendHook
 }
 
 // Cluster is a set of transport nodes sharing one recorder, checkpoint
@@ -134,6 +137,7 @@ func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.
 		Resume: resume, ResumeRec: rec,
 		Proto: proto, App: app,
 		Rec: c.Rec, Ckpts: c.Ckpts, Count: c.count,
+		Hook:           c.cfg.Hook,
 		FS:             c.fss[i],
 		WriteBandwidth: c.cfg.WriteBandwidth,
 		Base:           c.base,
@@ -279,10 +283,17 @@ func (c *Cluster) RollbackSurvivors(line int, skip int) error {
 // Call RollbackSurvivors (with the same line) around the restart so the
 // cluster agrees on the recovery line.
 func (c *Cluster) Restart(i, line int) error {
-	fs := c.fss[i]
-	if fs == nil {
+	if c.fss[i] == nil {
 		return fmt.Errorf("transport: restart of P%d needs a datadir", i)
 	}
+	// Reopen the store, exactly as a fresh OS process would: Open clears
+	// crash debris (torn temp files) and rebuilds a corrupt manifest, so
+	// a restart exercises the same recovery path as a real daemon.
+	fs, err := fsstore.Open(c.cfg.Datadir, i, c.cfg.N)
+	if err != nil {
+		return err
+	}
+	c.fss[i] = fs
 	if err := fs.TruncateAfter(line); err != nil {
 		return err
 	}

@@ -10,6 +10,13 @@ import (
 	"time"
 )
 
+// SendHook intercepts every outgoing frame before it reaches the peer
+// queue — the fault-injection point of internal/faultnet. The hook may
+// call deliver zero times (drop), once (pass or delay, possibly from a
+// timer goroutine later), or several times (duplication). deliver is
+// safe to call after the mesh has shut down.
+type SendHook func(src, dst int, frame []byte, deliver func(frame []byte))
+
 // MeshConfig parameterizes the TCP peer mesh of one process.
 type MeshConfig struct {
 	// ID is this process's identifier in [0, N).
@@ -18,6 +25,8 @@ type MeshConfig struct {
 	Addrs []string
 	// Seed drives the backoff jitter (per-peer sources derive from it).
 	Seed int64
+	// Hook, when non-nil, filters every outgoing frame (fault injection).
+	Hook SendHook
 	// DialBackoff is the initial reconnect delay (default 20ms); it
 	// doubles per failure up to DialBackoffCap (default 2s) and resets on
 	// success.
@@ -125,10 +134,20 @@ func (m *Mesh) Start() {
 // enough to exhaust the buffer) drops the frame — the loss is counted
 // and left to the retransmission layer.
 func (m *Mesh) Send(dst int, frame []byte) {
-	p := m.peers[dst]
-	if p == nil {
+	if m.peers[dst] == nil {
 		panic(fmt.Sprintf("transport: P%d sending to itself", dst))
 	}
+	if h := m.cfg.Hook; h != nil {
+		h(m.cfg.ID, dst, frame, func(f []byte) { m.enqueue(dst, f) })
+		return
+	}
+	m.enqueue(dst, frame)
+}
+
+// enqueue places one frame on the peer's outgoing queue (the post-hook
+// half of Send; delayed fault-injected frames land here from timers).
+func (m *Mesh) enqueue(dst int, frame []byte) {
+	p := m.peers[dst]
 	select {
 	case p.out <- frame:
 	case <-m.quit:
@@ -226,7 +245,7 @@ func (m *Mesh) serveConn(c net.Conn) {
 // queue. A write failure keeps the unsent frame and reconnects.
 func (m *Mesh) writerLoop(p *peer) {
 	defer m.wg.Done()
-	rng := rand.New(rand.NewSource(m.cfg.Seed + int64(m.cfg.ID)*104729 + int64(p.id)*7919))
+	rng := rand.New(rand.NewSource(jitterSeed(m.cfg.Seed, m.cfg.ID, p.id)))
 	backoff := m.cfg.DialBackoff
 	everConnected := false
 	var conn net.Conn
@@ -290,6 +309,19 @@ func (m *Mesh) writerLoop(p *peer) {
 		m.framesSent.Add(1)
 		m.bytesSent.Add(int64(len(frame)) + frameHeader)
 	}
+}
+
+// jitterSeed derives the backoff-jitter stream of one writer goroutine
+// from the mesh seed with a splitmix64 mix. Every (mesh, peer) pair gets
+// its own decorrelated source — never process-global math/rand state,
+// and not the additive prime offsets used previously, whose neighbouring
+// streams were correlated — so a chaos run's reconnect timing reproduces
+// from the single cluster seed.
+func jitterSeed(seed int64, id, peer int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1) + 0x517cc1b727220a95*uint64(peer+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // The hello frame opens every outbound connection: a 1-byte version and

@@ -48,6 +48,10 @@ type NodeConfig struct {
 	// the moment the protocol issues its stable-storage write.
 	FS *fsstore.Store
 
+	// Hook, when non-nil, filters every outgoing frame (fault injection;
+	// see internal/faultnet).
+	Hook SendHook
+
 	// WriteBandwidth models the stable-storage service rate in bytes
 	// per second (the real fsync cost of FS comes on top). Default: no
 	// modeled delay.
@@ -79,6 +83,7 @@ type Node struct {
 	storageCh chan storeReq
 	storageQ  atomic.Int32
 
+	idBase  int64
 	idCtr   atomic.Int64
 	started atomic.Bool
 	closed  atomic.Bool
@@ -129,12 +134,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		epoch:     cfg.Epoch,
 		persisted: cfg.Resume,
 	}
+	// Envelope IDs must be unique across OS processes AND across the
+	// incarnations of one process: a restarted node's counter starts at
+	// zero again, so without the epoch in the ID a post-restart envelope
+	// would alias a pre-crash one and confuse trace pairing and dedup.
+	// Bits 40+: node, 32-39: starting epoch, 0-31: counter.
+	n.idBase = (int64(cfg.ID)+1)<<40 | int64(cfg.Epoch&0xff)<<32
 	if cfg.Resume >= 0 && cfg.ResumeRec != nil {
 		n.fold = cfg.ResumeRec.CFEFold
 		n.work = cfg.ResumeRec.CFEWork
 	}
 	mesh, err := NewMesh(MeshConfig{
-		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed,
+		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed, Hook: cfg.Hook,
 	}, cfg.Listener, n.onFrame)
 	if err != nil {
 		return nil, err
@@ -328,8 +339,7 @@ func (n *Node) Rand() *rand.Rand { return n.rng }
 func (n *Node) Send(e *protocol.Envelope) {
 	e.Src = n.cfg.ID
 	if e.ID == 0 {
-		// Globally unique across OS processes: high bits carry the node.
-		e.ID = (int64(n.cfg.ID)+1)<<40 | n.idCtr.Add(1)
+		e.ID = n.idBase | n.idCtr.Add(1)
 	}
 	e.Epoch = n.epoch
 	e.SentAt = n.Now()
@@ -506,7 +516,7 @@ func (a nodeAppCtx) Send(dst int, m protocol.AppMsg) {
 		Src: n.cfg.ID, Dst: dst,
 		Kind: protocol.KindApp, Bytes: m.Bytes, App: m,
 	}
-	e.ID = (int64(n.cfg.ID)+1)<<40 | n.idCtr.Add(1)
+	e.ID = n.idBase | n.idCtr.Add(1)
 	n.fold = checkpoint.FoldEvent(n.fold, checkpoint.Sent, n.cfg.ID, dst, m.Tag, m.Seq)
 	n.cfg.Rec.Record(trace.Event{
 		T: n.Now(), Kind: trace.KSend, Proc: n.cfg.ID, Peer: dst, MsgID: e.ID, Seq: -1,

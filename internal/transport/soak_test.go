@@ -1,0 +1,75 @@
+//go:build soak
+
+package transport
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestSoak is the consistency soak harness (go test -tags soak): many
+// seeded chaos runs — drop, delay, duplication, reorder, partition and
+// kill+restart faults against a live TCP cluster — each verified for
+// the three invariants (no orphans across durable S_k, exactly-once log
+// replay, post-restart convergence). Run it under -race.
+//
+// Environment knobs (all optional):
+//
+//	SOAK_SEED_BASE    first seed (default 1)
+//	SOAK_SEEDS        how many consecutive seeds (default 50)
+//	SOAK_FAULT_MS     fault-phase length per seed in ms (default 1500)
+//	SOAK_ARTIFACT_DIR where failing schedules are written for upload
+func TestSoak(t *testing.T) {
+	base := envInt(t, "SOAK_SEED_BASE", 1)
+	count := envInt(t, "SOAK_SEEDS", 50)
+	faultFor := time.Duration(envInt(t, "SOAK_FAULT_MS", 1500)) * time.Millisecond
+	artifactDir := os.Getenv("SOAK_ARTIFACT_DIR")
+
+	for s := base; s < base+count; s++ {
+		seed := int64(s)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := DefaultChaosConfig(4, seed, t.TempDir(), faultFor)
+			cfg.Converge = 30 * time.Second
+			rep, err := RunChaos(cfg)
+			if err != nil {
+				if rep != nil {
+					saveArtifact(t, artifactDir, rep)
+				}
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !rep.OK() {
+				saveArtifact(t, artifactDir, rep)
+				t.Fatalf("seed %d invariants failed:\n%s", seed, rep.Render())
+			}
+			t.Logf("seed %d: %d restarts, faults dropped=%d partitioned=%d dup=%d delayed=%d reordered=%d",
+				seed, rep.Restarts, rep.FaultStats.Dropped, rep.FaultStats.Partitioned,
+				rep.FaultStats.Duplicated, rep.FaultStats.Delayed, rep.FaultStats.Reordered)
+		})
+	}
+}
+
+func saveArtifact(t *testing.T, dir string, rep *ChaosReport) {
+	t.Helper()
+	if dir == "" {
+		return
+	}
+	if err := rep.WriteArtifact(dir); err != nil {
+		t.Logf("writing failure artifact: %v", err)
+	}
+}
+
+func envInt(t *testing.T, name string, def int) int {
+	t.Helper()
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("%s=%q: %v", name, v, err)
+	}
+	return n
+}

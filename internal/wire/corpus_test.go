@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusDir is the checked-in seed corpus for FuzzWireRoundTrip; go test
+// runs every entry through the fuzz target even without -fuzz.
+const corpusDir = "testdata/fuzz/FuzzWireRoundTrip"
+
+// corpusEntries returns the minimized corpus: the canonical encodings of
+// every sample envelope plus the interesting malformed shapes the fuzzer
+// found worth keeping — truncations, a bad version, trailing garbage, an
+// unknown payload discriminator, and an oversized control-tag length.
+func corpusEntries(t testing.TB) [][]byte {
+	var entries [][]byte
+	for _, e := range sampleEnvelopes() {
+		b, err := Encode(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, b)
+		if len(b) > 4 {
+			entries = append(entries, b[:len(b)-3])    // truncated payload block
+			entries = append(entries, append(b, 0xff)) // trailing byte
+			entries = append(entries, b[:2])           // header only
+		}
+	}
+	entries = append(entries,
+		[]byte{},               // empty frame
+		[]byte{Version},        // version byte only
+		[]byte{Version + 1, 0}, // unsupported version
+		[]byte{Version, 7},     // invalid kind
+		[]byte{Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9}, // unknown payload discriminator
+		// A control-tag length varint far beyond MaxCtlTag.
+		[]byte{Version, 1, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0x7f},
+	)
+	return entries
+}
+
+// TestCorpusIsCurrent fails when the checked-in corpus drifts from the
+// generator; regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire.
+func TestCorpusIsCurrent(t *testing.T) {
+	if os.Getenv("WIRE_REGEN_CORPUS") != "" {
+		writeCorpus(t)
+	}
+	want := map[string]bool{}
+	for _, b := range corpusEntries(t) {
+		want[corpusFile(b)] = true
+	}
+	files, err := filepath.Glob(filepath.Join(corpusDir, "seed-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[string(raw)] = true
+	}
+	for content := range want {
+		if !got[content] {
+			t.Fatalf("corpus missing an entry; regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire")
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("corpus has %d entries, generator produces %d; regenerate with WIRE_REGEN_CORPUS=1", len(got), len(want))
+	}
+}
+
+// corpusFile renders one entry in the go-fuzz corpus file format.
+func corpusFile(b []byte) string {
+	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+}
+
+func writeCorpus(t *testing.T) {
+	t.Helper()
+	if err := os.RemoveAll(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	i := 0
+	for _, b := range corpusEntries(t) {
+		content := corpusFile(b)
+		if seen[content] {
+			continue
+		}
+		seen[content] = true
+		name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	t.Logf("wrote %d corpus entries to %s", i, corpusDir)
+}
+
+// TestCorpusDecodesWithoutPanic runs every checked-in entry through the
+// decoder directly (belt and braces on top of the fuzz seed run).
+func TestCorpusDecodesWithoutPanic(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "seed-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus entries checked in")
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz corpus file", f)
+		}
+		payload := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		s, err := strconv.Unquote(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if e, err := Decode([]byte(s)); err == nil {
+			// Whatever decodes must be canonical.
+			if _, err := Encode(e); err != nil {
+				t.Fatalf("%s: decoded envelope does not re-encode: %v", f, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+)
+
+// randomEnvelope draws an arbitrary valid envelope: every payload kind
+// the in-tree protocols emit, random endpoints, tags and counters.
+func randomEnvelope(rng *rand.Rand) *protocol.Envelope {
+	e := &protocol.Envelope{
+		ID:     rng.Int63() - rng.Int63(), // spans negative ids too
+		Src:    rng.Intn(64),
+		Dst:    rng.Intn(64),
+		Bytes:  rng.Int63n(1 << 30),
+		SentAt: des.Time(rng.Int63n(1<<40) - 1<<39),
+		Epoch:  rng.Intn(1 << 10),
+	}
+	if rng.Intn(2) == 0 {
+		e.Kind = protocol.KindApp
+		e.App = protocol.AppMsg{
+			Seq:   rng.Int63n(1 << 30),
+			Bytes: rng.Int63n(1 << 20),
+			Tag:   rng.Uint64(),
+		}
+	} else {
+		e.Kind = protocol.KindCtl
+		tag := make([]byte, rng.Intn(MaxCtlTag+1))
+		for i := range tag {
+			tag[i] = byte('a' + rng.Intn(26))
+		}
+		e.CtlTag = string(tag)
+	}
+	switch rng.Intn(4) {
+	case 0: // no payload
+	case 1:
+		universe := 2 + rng.Intn(63)
+		set := protocol.NewProcSet(universe)
+		for i := 0; i < universe; i++ {
+			if rng.Intn(3) == 0 {
+				set.Add(i)
+			}
+		}
+		e.Payload = core.Piggyback{
+			Csn:     rng.Intn(1 << 20),
+			Stat:    core.Status(rng.Intn(int(core.Tentative) + 1)),
+			TentSet: set,
+		}
+	case 2:
+		e.Payload = core.CtlMsg{Csn: rng.Intn(1 << 20)}
+	case 3:
+		e.Payload = reliable.Ack{ID: rng.Int63() - rng.Int63()}
+	}
+	return e
+}
+
+// TestEncodedSizePropertyRandomized is the satellite property test: for
+// randomized envelopes, EncodedSize must exactly match the bytes Encode
+// produces, PayloadSize must account exactly for the payload suffix, and
+// the round trip must be lossless.
+func TestEncodedSizePropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	for i := 0; i < 5000; i++ {
+		e := randomEnvelope(rng)
+		b, err := Encode(e)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v (%#v)", i, err, e)
+		}
+		size, err := EncodedSize(e)
+		if err != nil {
+			t.Fatalf("case %d: EncodedSize: %v", i, err)
+		}
+		if size != len(b) {
+			t.Fatalf("case %d: EncodedSize = %d, Encode produced %d bytes (%#v)", i, size, len(b), e)
+		}
+		psize, err := PayloadSize(e)
+		if err != nil {
+			t.Fatalf("case %d: PayloadSize: %v", i, err)
+		}
+		if psize < 1 || psize > size {
+			t.Fatalf("case %d: PayloadSize = %d outside (0, %d]", i, psize, size)
+		}
+		// The payload block is the frame's suffix: encoding the same
+		// envelope payload-free must shave off exactly psize-1 bytes
+		// (the empty payload still costs its discriminator byte).
+		bare := *e
+		bare.Payload = nil
+		bareSize, err := EncodedSize(&bare)
+		if err != nil {
+			t.Fatalf("case %d: bare EncodedSize: %v", i, err)
+		}
+		if bareSize != size-psize+1 {
+			t.Fatalf("case %d: payload accounting off: total %d, payload %d, bare %d", i, size, psize, bareSize)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("case %d: round trip changed envelope:\n got %#v\nwant %#v", i, got, e)
+		}
+	}
+}
+
+// TestEncodedSizeAppendMatches: Append onto a non-empty buffer adds
+// exactly EncodedSize bytes and leaves the prefix alone.
+func TestEncodedSizeAppendMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	prefix := []byte{0xde, 0xad, 0xbe, 0xef}
+	for i := 0; i < 500; i++ {
+		e := randomEnvelope(rng)
+		buf := append([]byte(nil), prefix...)
+		buf, err := Append(buf, e)
+		if err != nil {
+			t.Fatalf("case %d: append: %v", i, err)
+		}
+		size, err := EncodedSize(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != len(prefix)+size {
+			t.Fatalf("case %d: appended %d bytes, EncodedSize says %d", i, len(buf)-len(prefix), size)
+		}
+		if got, err := Decode(buf[len(prefix):]); err != nil || !reflect.DeepEqual(got, e) {
+			t.Fatalf("case %d: suffix does not decode back: %v", i, err)
+		}
+	}
+}
