@@ -14,9 +14,12 @@
 //
 // Daemon mode hosts a single process; start one ocsmld per entry in
 // -peers (the -id'th address is bound locally). A killed daemon is
-// restarted with -resume <seq> pointing at the cluster's recovery line
-// (the smallest "last finalized seq" across the peers' manifests, see
-// DESIGN.md); its state is reloaded from the -datadir manifest.
+// restarted with -recover: before resuming it coordinates a wire-level
+// recovery round (RB_BGN/RB_LINE/RB_CMT/RB_ACK, see DESIGN.md) that
+// agrees the recovery line with the surviving daemons, rolls them back,
+// and fences the pre-crash epoch; its own state is then reloaded from
+// the -datadir manifest at the agreed line. -resume <seq> remains as
+// the manual override when the line is known out of band.
 package main
 
 import (
@@ -61,6 +64,7 @@ func main() {
 		proto     = flag.String("proto", "ocsml", "protocol (the network runtime hosts ocsml)")
 		datadir   = flag.String("datadir", "", "directory for file-backed stable storage (enables restart)")
 		resume    = flag.Int("resume", -1, "restart from this finalized checkpoint seq (daemon mode; needs -datadir)")
+		recoverF  = flag.Bool("recover", false, "coordinate a wire-level recovery round with the surviving peers before resuming (daemon mode; needs -datadir; overrides -resume)")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		steps     = flag.Int64("steps", 400, "work steps per process")
 		think     = flag.Duration("think", 4*time.Millisecond, "mean computation per step (real time)")
@@ -98,7 +102,7 @@ func main() {
 		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
 		return
 	}
-	runDaemon(*id, *peers, *datadir, *resume, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
+	runDaemon(*id, *peers, *datadir, *resume, *recoverF, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
 }
 
 // runChaos is -chaos: one seeded fault-injection round against a live
@@ -195,7 +199,7 @@ func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload
 
 // runDaemon hosts one process of a cluster whose other members are
 // separate ocsmld invocations (possibly on other machines).
-func runDaemon(id int, peerList, datadir string, resume int, seed int64, opt core.Options,
+func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, seed int64, opt core.Options,
 	wl workload.Config, bw int64, rel bool, runFor, drain time.Duration, jsonOut bool) {
 	if peerList == "" {
 		fatalf("daemon mode needs -peers (or use -spawn-all)")
@@ -221,6 +225,32 @@ func runDaemon(id int, peerList, datadir string, resume int, seed int64, opt cor
 	rec := trace.NewRecorder()
 	ckpts := checkpoint.NewStore(n)
 	counters := newCounterTable()
+
+	epoch := 0
+	if recoverFlag {
+		// Restart after a crash: before resuming, run the wire-level
+		// recovery handshake from this process's own address — survivors
+		// report their durable manifests, the line is agreed as the
+		// highest fully-durable seq, they roll back, and the committed
+		// epoch fences all pre-crash traffic.
+		if fs == nil {
+			fatalf("-recover needs -datadir")
+		}
+		ln, err := net.Listen("tcp", addrs[id])
+		if err != nil {
+			fatalf("binding %s: %v", addrs[id], err)
+		}
+		dec, err := transport.Coordinate(transport.CoordinatorConfig{
+			ID: id, Addrs: addrs, Seed: seed,
+			Seqs: fs.Manifest().Seqs, Count: counters.add,
+		}, ln) // closes ln, so the node below can rebind
+		if err != nil {
+			fatalf("recovery coordination: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ocsmld: P%d recovery committed line %d epoch %d\n", id, dec.Line, dec.Epoch)
+		resume = dec.Line
+		epoch = dec.Epoch
+	}
 
 	var resumeRec *checkpoint.Record
 	if resume >= 0 {
@@ -267,7 +297,7 @@ func runDaemon(id int, peerList, datadir string, resume int, seed int64, opt cor
 	doneCh := make(chan struct{}, 1)
 	node, err := transport.NewNode(transport.NodeConfig{
 		ID: id, N: n, Addrs: addrs, Listener: ln,
-		Seed: seed, Resume: resume, ResumeRec: resumeRec,
+		Seed: seed, Epoch: epoch, Resume: resume, ResumeRec: resumeRec,
 		Proto: pr, App: workload.Factory(wl)(id, n),
 		Rec: rec, Ckpts: ckpts, Count: counters.add,
 		FS: fs, WriteBandwidth: bw,

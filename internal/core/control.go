@@ -188,7 +188,19 @@ func (p *Protocol) onControl(e *protocol.Envelope) {
 		}
 
 	default: // cm.Csn > p.csn+1
-		panic(fmt.Sprintf("core: P%d (csn=%d) received impossible control csn=%d",
-			p.env.ID(), p.csn, cm.Csn))
+		// Deviation (vi) in DESIGN.md: the paper's pseudocode treats a
+		// control message more than one initiation ahead as impossible,
+		// and this used to panic. It is reachable in a long-lived
+		// deployment — a daemon resuming behind a cluster that kept
+		// initiating, or version skew — and a control frame must never
+		// crash an OS process. Drop it, counted, and catch up one round:
+		// a tentative non-coordinator nudges P0 with CK_BGN(csn); P0's
+		// stale-message handling (deviation (ii)) answers with a targeted
+		// CK_END, finalizing our round so the next one closes the gap.
+		p.env.Count("ctl_ahead_dropped", 1)
+		if p.stat == Tentative && p.env.ID() != 0 && p.aheadNudge < p.csn {
+			p.aheadNudge = p.csn
+			p.sendCtl(0, TagBGN, p.csn)
+		}
 	}
 }

@@ -6,6 +6,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"ocsml/internal/checkpoint"
@@ -225,14 +226,70 @@ func TestREQNextCsnJoinsAndForwards(t *testing.T) {
 	}
 }
 
-func TestImpossibleControlCsnPanics(t *testing.T) {
-	p, _ := mount(t, 1, 3, Options{Timeout: des.Second}, false)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("CM.csn > csn+1 should panic")
-		}
-	}()
-	p.OnDeliver(ctl(0, TagEND, 5))
+// TestControlCsnFarAhead: a control frame more than one initiation ahead
+// (crash/restart races, version skew) must never crash the process —
+// deviation (vi): drop it, count it, and let a lagging tentative process
+// nudge P0 so the stale-handling path (deviation (ii)) walks it forward
+// one round per exchange.
+func TestControlCsnFarAhead(t *testing.T) {
+	cases := []struct {
+		name      string
+		id        int
+		tentative bool
+		tag       string
+		csn       int
+		wantSent  []string // control tags sent in response
+	}{
+		{
+			name: "normal process drops silently",
+			id:   1, tentative: false, tag: TagEND, csn: 5,
+			wantSent: nil,
+		},
+		{
+			name: "tentative process nudges the coordinator",
+			id:   1, tentative: true, tag: TagEND, csn: 7,
+			wantSent: []string{TagBGN},
+		},
+		{
+			name: "tentative coordinator never nudges itself",
+			id:   0, tentative: true, tag: TagBGN, csn: 4,
+			wantSent: nil,
+		},
+		{
+			name: "ahead REQ dropped like any other tag",
+			id:   2, tentative: false, tag: TagREQ, csn: 9,
+			wantSent: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, env := mount(t, tc.id, 3, Options{Timeout: des.Second}, tc.tentative)
+			wantCsn, wantStat := p.Csn(), p.Status()
+			p.OnDeliver(ctl((tc.id+1)%3, tc.tag, tc.csn))
+			if env.counters["ctl_ahead_dropped"] != 1 {
+				t.Fatalf("ahead-drop counter = %d, want 1", env.counters["ctl_ahead_dropped"])
+			}
+			if got := sentTags(env); !reflect.DeepEqual(got, tc.wantSent) {
+				t.Fatalf("sent %v, want %v", got, tc.wantSent)
+			}
+			if len(tc.wantSent) > 0 && (env.sent[0].Dst != 0 || env.sent[0].Payload.(CtlMsg).Csn != wantCsn) {
+				t.Fatalf("nudge %v, want CK_BGN(csn=%d) to P0", env.sent[0], wantCsn)
+			}
+			if p.Csn() != wantCsn || p.Status() != wantStat {
+				t.Fatalf("state moved to csn=%d %v, want csn=%d %v", p.Csn(), p.Status(), wantCsn, wantStat)
+			}
+			// The same frame again must not re-nudge (the round for this
+			// csn is already initiated).
+			env.sent = nil
+			p.OnDeliver(ctl((tc.id+1)%3, tc.tag, tc.csn))
+			if env.counters["ctl_ahead_dropped"] != 2 {
+				t.Fatalf("second drop not counted")
+			}
+			if len(env.sent) != 0 {
+				t.Fatalf("duplicate ahead frame re-nudged: %v", sentTags(env))
+			}
+		})
+	}
 }
 
 func TestForeignControlPayloadPanics(t *testing.T) {

@@ -177,6 +177,7 @@ type Protocol struct {
 
 	reqSentCsn int // highest csn for which this process sent/forwarded CK_REQ
 	endSentCsn int // highest csn for which this process broadcast CK_END
+	aheadNudge int // highest own csn for which an ahead-frame CK_BGN nudge was sent
 	resumeSeq  int // checkpoint seq to resume from at Start (-1 = fresh)
 
 	// pendingFlush queues finalization writes awaiting a convenient
@@ -196,7 +197,7 @@ func New(opt Options) *Protocol {
 	if opt.FlushPoll <= 0 {
 		opt.FlushPoll = 100 * des.Millisecond
 	}
-	return &Protocol{opt: opt, reqSentCsn: -1, endSentCsn: -1, resumeSeq: -1}
+	return &Protocol{opt: opt, reqSentCsn: -1, endSentCsn: -1, aheadNudge: -1, resumeSeq: -1}
 }
 
 // SetResume arranges for Start to resume from an already-finalized
@@ -233,6 +234,7 @@ func (p *Protocol) Start(env protocol.Env) {
 		p.csn = p.resumeSeq
 		p.reqSentCsn = p.resumeSeq
 		p.endSentCsn = p.resumeSeq
+		p.aheadNudge = p.resumeSeq
 		p.lastTentAt = env.Now()
 		if p.opt.Interval > 0 {
 			first := p.opt.Interval + des.Duration(env.Rand().Int63n(int64(p.opt.Interval/20)+1))
@@ -355,6 +357,7 @@ func (p *Protocol) Rollback(seq int) {
 	p.escalated = false
 	p.reqSentCsn = seq
 	p.endSentCsn = seq
+	p.aheadNudge = seq
 	p.pendingFlush = nil
 	p.flushPolling = false
 	p.lastTentAt = p.env.Now() // the restore starts a fresh interval

@@ -65,6 +65,19 @@ type Store struct {
 	proc int
 	n    int
 	man  Manifest
+	// finalizeErr, when set, is consulted before each Finalize writes
+	// anything — the error-injection hook of the durability tests.
+	finalizeErr func(checkpoint.Record) error
+}
+
+// SetFinalizeErrHook installs (or, with nil, removes) a hook consulted at
+// the top of Finalize; a non-nil return fails the call before any byte is
+// written. Tests use it to prove a failed write is retried and never
+// skipped past.
+func (s *Store) SetFinalizeErrHook(fn func(checkpoint.Record) error) {
+	s.mu.Lock()
+	s.finalizeErr = fn
+	s.mu.Unlock()
 }
 
 // ProcDir returns the directory a process's store lives in.
@@ -269,6 +282,11 @@ func (s *Store) Finalize(rec checkpoint.Record) error {
 	if last := s.man.LastSeq(); rec.Seq <= last {
 		return fmt.Errorf("fsstore: P%d finalize seq %d not above manifest last %d", s.proc, rec.Seq, last)
 	}
+	if s.finalizeErr != nil {
+		if err := s.finalizeErr(rec); err != nil {
+			return err
+		}
+	}
 
 	// 1. Message log: append every entry, one JSON line each, and flush.
 	lf, err := os.OpenFile(s.logPath(rec.Seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -417,51 +435,84 @@ func RecoverStore(datadir string, n int) (*checkpoint.Store, error) {
 	return cs, nil
 }
 
-// LastCompleteSeq intersects the manifests of all n processes and returns
-// the highest sequence number every process has durably finalized — the
-// last global checkpoint S_k on disk — or -1 if none exists. It is a
-// true intersection: a sequence number counts only if present in every
-// manifest, so gaps (possible after a torn-manifest rebuild) cannot
-// surface a line some process lacks.
-func LastCompleteSeq(datadir string, n int) (int, error) {
-	count := map[int]int{}
-	for p := 0; p < n; p++ {
-		s, err := Open(datadir, p, n)
-		if err != nil {
-			return -1, err
-		}
-		for _, q := range s.Manifest().Seqs {
-			count[q]++
-		}
+// ReadManifest reads a process's manifest without opening the store: no
+// directory creation, no debris sweep, no rebuild. This is the safe way
+// to poll a datadir that live processes are still writing to — Open's
+// sweep would delete the temp file of an atomic write in flight and fail
+// that process's rename. A missing directory or manifest yields an empty
+// manifest (the process has durably finalized nothing yet).
+func ReadManifest(datadir string, proc int) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(ProcDir(datadir, proc), "MANIFEST.json"))
+	switch {
+	case os.IsNotExist(err):
+		return Manifest{Proc: proc}, nil
+	case err != nil:
+		return Manifest{}, err
 	}
-	best := -1
-	for q, c := range count {
-		if c == n && q > best {
-			best = q
-		}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("fsstore: corrupt manifest for P%d: %w", proc, err)
 	}
-	return best, nil
+	return m, nil
 }
 
-// CompleteSeqs returns every sequence number present in all n manifests,
-// ascending — the durable global checkpoints S_k the datadir can prove.
-func CompleteSeqs(datadir string, n int) ([]int, error) {
+// Intersect returns the sequence numbers present in every one of the
+// groups, ascending. It is a true intersection: a sequence number counts
+// only if every group has it, so gaps in one manifest (possible after a
+// torn-manifest rebuild) cannot surface a line some process lacks. The
+// recovery coordinator applies it to the RB_LINE reports exactly as the
+// datadir helpers below apply it to the on-disk manifests.
+func Intersect(groups [][]int) []int {
+	if len(groups) == 0 {
+		return nil
+	}
 	count := map[int]int{}
-	for p := 0; p < n; p++ {
-		s, err := Open(datadir, p, n)
-		if err != nil {
-			return nil, err
-		}
-		for _, q := range s.Manifest().Seqs {
-			count[q]++
+	for _, group := range groups {
+		seen := map[int]bool{}
+		for _, q := range group {
+			if !seen[q] {
+				seen[q] = true
+				count[q]++
+			}
 		}
 	}
 	var seqs []int
 	for q, c := range count {
-		if c == n {
+		if c == len(groups) {
 			seqs = append(seqs, q)
 		}
 	}
 	sort.Ints(seqs)
-	return seqs, nil
+	return seqs
+}
+
+// LastCompleteSeq intersects the manifests of all n processes and returns
+// the highest sequence number every process has durably finalized — the
+// last global checkpoint S_k on disk — or -1 if none exists. Reads are
+// manifest-only (ReadManifest), so polling a live datadir is safe.
+func LastCompleteSeq(datadir string, n int) (int, error) {
+	seqs, err := CompleteSeqs(datadir, n)
+	if err != nil {
+		return -1, err
+	}
+	if len(seqs) == 0 {
+		return -1, nil
+	}
+	return seqs[len(seqs)-1], nil
+}
+
+// CompleteSeqs returns every sequence number present in all n manifests,
+// ascending — the durable global checkpoints S_k the datadir can prove.
+// Reads are manifest-only (ReadManifest), so polling a live datadir is
+// safe.
+func CompleteSeqs(datadir string, n int) ([]int, error) {
+	groups := make([][]int, 0, n)
+	for p := 0; p < n; p++ {
+		m, err := ReadManifest(datadir, p)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, m.Seqs)
+	}
+	return Intersect(groups), nil
 }

@@ -163,3 +163,90 @@ func TestForeignManifestRejected(t *testing.T) {
 		t.Fatal("foreign manifest accepted")
 	}
 }
+
+func TestFinalizeErrorRetried(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(rec(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a one-shot failure for seq 2: the store must be left exactly
+	// as it was — no partial files, no manifest entry — so the caller's
+	// retry of the same record succeeds without a gap.
+	fails := 1
+	s.SetFinalizeErrHook(func(r checkpoint.Record) error {
+		if r.Seq == 2 && fails > 0 {
+			fails--
+			return os.ErrDeadlineExceeded
+		}
+		return nil
+	})
+	if err := s.Finalize(rec(0, 2, 2)); err == nil {
+		t.Fatal("injected finalize error not surfaced")
+	}
+	if s.LastSeq() != 1 {
+		t.Fatalf("LastSeq after failed finalize = %d, want 1", s.LastSeq())
+	}
+	if err := s.Finalize(rec(0, 2, 2)); err != nil {
+		t.Fatalf("retried finalize: %v", err)
+	}
+	if err := s.Finalize(rec(0, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Manifest().Seqs; !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("manifest seqs = %v, want [1 2 3] (no gap)", got)
+	}
+	// Reopen and replay-validate: the retried record is fully durable.
+	s2, err := Open(dir, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec(0, 2, 2)) {
+		t.Fatal("retried record does not round-trip")
+	}
+}
+
+func TestReadManifestDoesNotDisturbDatadir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(rec(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A live writer's in-flight temp file must survive a ReadManifest poll
+	// (Open's debris sweep would delete it).
+	tmp := filepath.Join(s.Dir(), ".tmp-inflight")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Seqs, []int{1}) {
+		t.Fatalf("manifest seqs = %v", m.Seqs)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("in-flight temp file disturbed: %v", err)
+	}
+	// Absent process directory: empty manifest, nothing created.
+	m, err = ReadManifest(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Seqs) != 0 {
+		t.Fatalf("absent dir manifest seqs = %v", m.Seqs)
+	}
+	if _, err := os.Stat(ProcDir(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("ReadManifest created the process directory (err=%v)", err)
+	}
+}

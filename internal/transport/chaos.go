@@ -178,15 +178,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		if cr.Down > 0 {
 			time.Sleep(cr.Down)
 		}
-		line, err := fsstore.LastCompleteSeq(datadir, n)
+		// The restarted incarnation coordinates its own recovery over the
+		// wire: line agreement from the manifests, epoch bump, survivor
+		// rollback + log replay, then the victim resumes at the line.
+		line, err := c.Recover(cr.Proc)
 		if err != nil {
-			return rep, err
-		}
-		if err := c.RollbackSurvivors(line, cr.Proc); err != nil {
-			return rep, fmt.Errorf("rollback to line %d: %w", line, err)
-		}
-		if err := c.Restart(cr.Proc, line); err != nil {
-			return rep, fmt.Errorf("restart of P%d at line %d: %w", cr.Proc, line, err)
+			return rep, fmt.Errorf("recovery of P%d: %w", cr.Proc, err)
 		}
 		rep.Restarts++
 		if _, err := waitLineAtLeast(datadir, n, line+1, cfg.Converge); err != nil {
@@ -202,12 +199,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 	orphans := verifyNoOrphans(datadir, n, c.Rec)
 	replay := verifyExactlyOnceReplay(datadir, n)
+	rep.Counters = c.Counters()
 	rep.Invariants = []Invariant{
 		orphans,
 		replay,
 		{Name: "post-restart-convergence", OK: convergeOK, Detail: convergeDetail},
+		verifyWireRecovery(rep.Counters, rep.Restarts, n),
 	}
-	rep.Counters = c.Counters()
 	rep.FaultStats = inj.Stats()
 	return rep, nil
 }
@@ -279,6 +277,26 @@ func verifyExactlyOnceReplay(datadir string, n int) Invariant {
 				seen[k] = true
 			}
 		}
+	}
+	iv.OK = true
+	return iv
+}
+
+// verifyWireRecovery checks that every restart went through the wire
+// protocol exactly once per participant: one coordinated round per
+// restart, and every survivor rolled back via an accepted RB_CMT (the
+// epoch guard makes rebroadcast commits ack-only, so the count is exact
+// and seed-deterministic).
+func verifyWireRecovery(counters map[string]int64, restarts, n int) Invariant {
+	iv := Invariant{Name: "wire-recovery"}
+	wantRounds := int64(restarts)
+	wantRollbacks := int64(restarts) * int64(n-1)
+	rounds := counters["recovery.coordinated"]
+	rollbacks := counters["recovery.rollbacks"]
+	if rounds != wantRounds || rollbacks != wantRollbacks {
+		iv.Detail = fmt.Sprintf("coordinated rounds=%d rollbacks=%d, want %d and %d",
+			rounds, rollbacks, wantRounds, wantRollbacks)
+		return iv
 	}
 	iv.OK = true
 	return iv

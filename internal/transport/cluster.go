@@ -142,6 +142,7 @@ func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.
 		WriteBandwidth: c.cfg.WriteBandwidth,
 		Base:           c.base,
 		OnDone:         c.nodeDone,
+		OnRollback:     func(id, _ int) { c.clearDone(id) },
 	})
 }
 
@@ -208,80 +209,51 @@ func (c *Cluster) Kill(i int) {
 	c.count("recovery.failures", 1)
 }
 
-// RollbackSurvivors rolls every still-running process back to the
-// recovery line: checkpoints above it are discarded (memory and disk),
-// the protocol and application rewind, and the epoch advances so stale
-// pre-rollback traffic and timers die at the boundary.
-func (c *Cluster) RollbackSurvivors(line int, skip int) error {
-	c.epoch++
-	epoch := c.epoch
-	var wg, swg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for p := 0; p < c.cfg.N; p++ {
-		if p == skip {
-			continue
-		}
-		n := c.nodes[p]
-		rec, ok := c.Ckpts.Proc(p).Get(line)
-		if !ok {
-			return fmt.Errorf("transport: recovery line %d missing on P%d", line, p)
-		}
-		wg.Add(1)
-		n.Post(func() {
-			defer wg.Done()
-			n.epoch = epoch
-			c.Ckpts.Proc(p).TruncateAfter(line)
-			if fs := c.fss[p]; fs != nil {
-				// Disk truncation runs on the storage goroutine, after
-				// any persist already in its queue, so a rolled-back
-				// checkpoint cannot be written back post-truncate.
-				swg.Add(1)
-				ok := n.postStorage(func() {
-					defer swg.Done()
-					if err := fs.TruncateAfter(line); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-					}
-					n.persisted = line
-				})
-				if !ok {
-					swg.Done()
-				}
-			}
-			rew, ok := n.cfg.Proto.(protocol.Rewinder)
-			if !ok {
-				panic(fmt.Sprintf("transport: protocol %q cannot roll back", n.cfg.Proto.Name()))
-			}
-			rew.Rollback(line)
-			n.fold = rec.CFEFold
-			n.work = rec.CFEWork
-			n.stall = 0
-			n.deferred = nil
-			n.appDone = false
-			c.clearDone(p)
-			ra, ok := n.cfg.App.(protocol.RewindableApp)
-			if !ok {
-				panic(fmt.Sprintf("transport: application on P%d cannot roll back", p))
-			}
-			ra.Restore(nodeAppCtx{n}, rec.CFEProgress)
-			c.Rec.Record(trace.Event{T: n.Now(), Kind: trace.KRestore, Proc: p, Peer: -1, Seq: line})
-		})
+// Recover drives the wire-level recovery protocol for the crashed
+// process: rebind its address, coordinate the recovery line from the
+// cluster's durable manifests (RB_BGN -> RB_LINE -> RB_CMT -> RB_ACK,
+// see Coordinate), then restart the victim from its on-disk store at the
+// agreed line. The survivors roll back through the same RB_* handlers a
+// standalone ocsmld daemon uses — the cluster does not reach into their
+// state directly, so the in-process cluster and a multi-OS-process
+// deployment exercise one recovery code path. Returns the agreed line.
+func (c *Cluster) Recover(victim int) (int, error) {
+	if c.fss[victim] == nil {
+		return -1, fmt.Errorf("transport: recovery of P%d needs a datadir", victim)
 	}
-	wg.Wait()
-	swg.Wait()
+	// Reopen the store exactly as a fresh OS process would — Open clears
+	// crash debris and rebuilds a corrupt manifest — before voting with
+	// its manifest in the line intersection.
+	fs, err := fsstore.Open(c.cfg.Datadir, victim, c.cfg.N)
+	if err != nil {
+		return -1, err
+	}
+	c.fss[victim] = fs
+	ln, err := net.Listen("tcp", c.addrs[victim])
+	if err != nil {
+		return -1, err
+	}
+	dec, err := Coordinate(CoordinatorConfig{
+		ID: victim, Addrs: c.addrs, Seed: c.cfg.Seed,
+		Seqs: fs.Manifest().Seqs, Epoch: c.epoch,
+		Hook: c.cfg.Hook, Count: c.count,
+	}, ln)
+	if err != nil {
+		return -1, err
+	}
+	c.epoch = dec.Epoch
 	c.count("recovery.recoveries", 1)
-	return firstErr
+	if err := c.Restart(victim, dec.Line); err != nil {
+		return dec.Line, err
+	}
+	return dec.Line, nil
 }
 
 // Restart brings a killed process back from its on-disk store: the
 // listener rebinds the original address, the checkpoint store is
 // reloaded up to the recovery line, and the protocol resumes from it.
-// Call RollbackSurvivors (with the same line) around the restart so the
-// cluster agrees on the recovery line.
+// Recover calls it after the wire handshake has rolled the survivors
+// back to the same line and advanced the cluster epoch.
 func (c *Cluster) Restart(i, line int) error {
 	if c.fss[i] == nil {
 		return fmt.Errorf("transport: restart of P%d needs a datadir", i)

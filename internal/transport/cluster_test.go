@@ -136,18 +136,12 @@ func TestClusterKillRestart(t *testing.T) {
 	c.Kill(victim)
 	time.Sleep(50 * time.Millisecond) // let in-flight traffic hit the dead socket
 
-	line, err := fsstore.LastCompleteSeq(dir, cfg.N)
+	line, err := c.Recover(victim)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("recover: %v", err)
 	}
 	if line < 2 {
 		t.Fatalf("recovery line %d, want >= 2", line)
-	}
-	if err := c.RollbackSurvivors(line, victim); err != nil {
-		t.Fatalf("rollback: %v", err)
-	}
-	if err := c.Restart(victim, line); err != nil {
-		t.Fatalf("restart: %v", err)
 	}
 
 	// The restarted cluster must finalize new checkpoints beyond the line.
@@ -162,6 +156,15 @@ func TestClusterKillRestart(t *testing.T) {
 	}
 	if got := c.Counter("recovery.restarts"); got != 1 {
 		t.Fatalf("restarts counter = %d", got)
+	}
+	if got := c.Counter("recovery.coordinated"); got != 1 {
+		t.Fatalf("coordinated counter = %d", got)
+	}
+	if got := c.Counter("recovery.recoveries"); got != 1 {
+		t.Fatalf("recoveries counter = %d", got)
+	}
+	if got := c.Counter("recovery.rollbacks"); got != int64(cfg.N-1) {
+		t.Fatalf("rollbacks counter = %d, want %d", got, cfg.N-1)
 	}
 	validateDisk(t, dir, cfg.N, line+1)
 

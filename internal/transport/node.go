@@ -65,6 +65,11 @@ type NodeConfig struct {
 
 	// OnDone fires (once) when the application completes its quota.
 	OnDone func(id int)
+
+	// OnRollback fires after a wire-committed rollback (RB_CMT) rewound
+	// this node to the given line — the in-process cluster's bookkeeping
+	// hook (a standalone daemon needs none).
+	OnRollback func(id, line int)
 }
 
 // Node hosts one process's protocol + application on real time, with
@@ -141,7 +146,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// Bits 40+: node, 32-39: starting epoch, 0-31: counter.
 	n.idBase = (int64(cfg.ID)+1)<<40 | int64(cfg.Epoch&0xff)<<32
 	if cfg.Resume >= 0 && cfg.ResumeRec != nil {
-		n.fold = cfg.ResumeRec.CFEFold
+		// Genuine log replay, not a shortcut to the recorded result: fold
+		// the durable message log over the restored tentative state and
+		// verify it reproduces the fold recorded at finalization.
+		n.fold = n.replayFold(cfg.ResumeRec)
 		n.work = cfg.ResumeRec.CFEWork
 	}
 	mesh, err := NewMesh(MeshConfig{
@@ -245,6 +253,18 @@ func (n *Node) onFrame(src int, frame []byte) {
 		return
 	}
 	n.post(func() {
+		// Recovery frames are handled ahead of the epoch fence: the
+		// coordinator of a crashed process cannot know the post-rollback
+		// epoch it is about to establish, so its frames would otherwise
+		// be dropped as stale.
+		if protocol.IsRecoveryTag(e.CtlTag) {
+			n.cfg.Rec.Record(trace.Event{
+				T: n.Now(), Kind: trace.KCtlRecv, Proc: n.cfg.ID, Peer: e.Src,
+				MsgID: e.ID, Seq: -1, Tag: e.CtlTag,
+			})
+			n.handleRecovery(e)
+			return
+		}
 		if e.Epoch < n.epoch {
 			n.staleDropped.Add(1)
 			n.cfg.Count("wire.stale_dropped", 1)
@@ -281,6 +301,9 @@ func (n *Node) storageLoop() {
 					select {
 					case <-time.After(d):
 					case <-n.quit:
+						// The write is abandoned mid-service: release its
+						// queue slot so StorageQueueLen stays balanced.
+						n.storageQ.Add(-1)
 						return
 					}
 				}
@@ -308,9 +331,19 @@ func (n *Node) persistFinalized() {
 		if rec.Seq <= n.persisted || rec.FinalizedAt == 0 {
 			continue
 		}
+		if rec.Seq <= n.cfg.FS.LastSeq() {
+			// Already on disk: a previous attempt failed after its
+			// manifest commit (e.g. the directory fsync); only the
+			// watermark is behind.
+			n.persisted = rec.Seq
+			continue
+		}
 		if err := n.cfg.FS.Finalize(rec); err != nil {
 			n.cfg.Count("fsstore.errors", 1)
-			continue
+			// Stop here: advancing the watermark past a failed write
+			// would strand this seq forever, leaving a permanent gap in
+			// the manifest. The next flush retries from it.
+			break
 		}
 		n.persisted = rec.Seq
 		n.cfg.Count("fsstore.finalized", 1)
@@ -396,6 +429,10 @@ func (n *Node) WriteStable(tag string, bytes int64, done func(start, end des.Tim
 	select {
 	case n.storageCh <- storeReq{tag: tag, bytes: bytes, done: done}:
 	case <-n.quit:
+		// Never enqueued: undo the increment, or StorageQueueLen (read by
+		// the protocol's EarlyFlush heuristic) would drift upward on every
+		// write racing a shutdown.
+		n.storageQ.Add(-1)
 	}
 }
 

@@ -20,7 +20,8 @@
 //
 // Payloads are polymorphic (Envelope.Payload is `any`); the codec knows
 // the concrete types the in-tree protocols use: core.Piggyback,
-// core.CtlMsg and reliable.Ack. Foreign payload types are an encode-time
+// core.CtlMsg, reliable.Ack and protocol.RbMsg (the recovery
+// coordinator's handshake). Foreign payload types are an encode-time
 // error — a protocol that wants to run on the TCP mesh must register its
 // payload here.
 package wire
@@ -49,7 +50,11 @@ const (
 	ptPiggyback = 1 // core.Piggyback
 	ptCtlMsg    = 2 // core.CtlMsg
 	ptAck       = 3 // reliable.Ack
+	ptRb        = 4 // protocol.RbMsg (recovery coordinator)
 )
+
+// maxRbSeqs bounds the manifest length an RB_LINE report may carry.
+const maxRbSeqs = 1 << 20
 
 // Decode errors. All decode failures wrap one of these (or describe a
 // structural violation); none panic.
@@ -112,6 +117,25 @@ func appendPayload(buf []byte, payload any) ([]byte, error) {
 	case reliable.Ack:
 		buf = append(buf, ptAck)
 		return binary.AppendVarint(buf, p.ID), nil
+	case protocol.RbMsg:
+		if p.Line < 0 || p.Epoch < 0 {
+			return nil, fmt.Errorf("wire: negative recovery line %d or epoch %d", p.Line, p.Epoch)
+		}
+		if len(p.Seqs) > maxRbSeqs {
+			return nil, fmt.Errorf("wire: recovery report with %d seqs exceeds %d", len(p.Seqs), maxRbSeqs)
+		}
+		buf = append(buf, ptRb)
+		buf = binary.AppendVarint(buf, p.Round)
+		buf = binary.AppendUvarint(buf, uint64(p.Line))
+		buf = binary.AppendUvarint(buf, uint64(p.Epoch))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Seqs)))
+		for _, q := range p.Seqs {
+			if q < 0 {
+				return nil, fmt.Errorf("wire: negative recovery seq %d", q)
+			}
+			buf = binary.AppendUvarint(buf, uint64(q))
+		}
+		return buf, nil
 	default:
 		return nil, fmt.Errorf("wire: unregistered payload type %T", payload)
 	}
@@ -306,6 +330,44 @@ func decodePayload(r *reader) (any, error) {
 			return nil, err
 		}
 		return reliable.Ack{ID: id}, nil
+	case ptRb:
+		round, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		line, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if line > 1<<40 {
+			return nil, fmt.Errorf("wire: recovery line %d out of range", line)
+		}
+		epoch, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if epoch > 1<<30 {
+			return nil, fmt.Errorf("wire: recovery epoch %d out of range", epoch)
+		}
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > maxRbSeqs {
+			return nil, fmt.Errorf("wire: recovery report length %d out of range", count)
+		}
+		var seqs []int
+		for i := uint64(0); i < count; i++ {
+			q, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if q > 1<<40 {
+				return nil, fmt.Errorf("wire: recovery seq %d out of range", q)
+			}
+			seqs = append(seqs, int(q))
+		}
+		return protocol.RbMsg{Round: round, Line: int(line), Epoch: int(epoch), Seqs: seqs}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrPayload, pt)
 	}

@@ -42,6 +42,15 @@ func sampleEnvelopes() []*protocol.Envelope {
 			ID: 3, Src: 0, Dst: 1, Kind: protocol.KindApp,
 			App: protocol.AppMsg{Seq: 2, Bytes: 64, Tag: 9},
 		},
+		{ // recovery line report with a manifest
+			ID: 11, Src: 3, Dst: 1, Kind: protocol.KindCtl, CtlTag: protocol.TagRbLine,
+			Bytes: 16, SentAt: 77, Epoch: 1,
+			Payload: protocol.RbMsg{Round: 1234567, Line: 0, Epoch: 2, Seqs: []int{1, 2, 3, 5}},
+		},
+		{ // recovery commit, empty manifest
+			ID: 12, Src: 1, Dst: 0, Kind: protocol.KindCtl, CtlTag: protocol.TagRbCommit,
+			Payload: protocol.RbMsg{Round: -9, Line: 4, Epoch: 3},
+		},
 	}
 }
 
