@@ -1,0 +1,61 @@
+# Single source of truth for build/check commands: CI runs exactly these
+# targets, so a green `make lint test race chaos` locally means a green CI.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos soak fuzz
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs the standard toolchain vet plus the repo's own analyzers
+# (cmd/ocsmlvet): wire-codec exhaustiveness, determinism, lock
+# discipline, fsync ordering. See DESIGN.md §10.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ocsmlvet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: fmt vet staticcheck
+
+# staticcheck and govulncheck are optional locally (the container may
+# not have them); CI installs both, so findings still block merges.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck not installed; skipped (CI runs it)"; fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "govulncheck not installed; skipped (CI runs it)"; fi
+
+generate:
+	$(GO) generate ./...
+
+# chaos is the CI smoke: five seeds of in-process crash + fault
+# injection + wire recovery against the real TCP runtime.
+chaos:
+	$(GO) build -o /tmp/ocsmld ./cmd/ocsmld
+	@for seed in 1 2 3 4 5; do \
+		/tmp/ocsmld -chaos -seed $$seed -chaos-for 1200ms || exit 1; \
+	done
+
+# soak mirrors .github/workflows/soak.yml; tune with SOAK_SEED_BASE,
+# SOAK_SEEDS, SOAK_FAULT_MS, SOAK_ARTIFACT_DIR.
+soak:
+	$(GO) test -race -tags soak -timeout 20m -run TestSoak -v ./internal/transport/
+
+fuzz:
+	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/wire/

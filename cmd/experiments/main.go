@@ -81,9 +81,9 @@ func main() {
 	}
 	var benches []benchEntry
 	for _, e := range selected {
-		start := time.Now()
+		start := time.Now() //ocsml:wallclock benchmark timing, reported not simulated
 		tab := e.Execute(scale)
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //ocsml:wallclock benchmark timing, reported not simulated
 		fmt.Fprint(w, tab.Render())
 		fmt.Fprintf(w, "(%.1fs)\n\n", elapsed.Seconds())
 		if *csvDir != "" {
@@ -106,7 +106,8 @@ func main() {
 			Date    string       `json:"date"`
 			Scale   string       `json:"scale"`
 			Results []benchEntry `json:"results"`
-		}{Date: time.Now().Format("2006-01-02"), Scale: mode, Results: benches}
+		}{ //ocsml:wallclock bench report date stamp
+			Date: time.Now().Format("2006-01-02"), Scale: mode, Results: benches}
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"testing"
+
+	"ocsml/internal/leakcheck"
+)
+
+// TestMain fails the daemon's test binary when a test run leaves a
+// goroutine behind — daemon teardown must be complete.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -385,7 +385,8 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 
 type counterTable struct {
 	mu sync.Mutex
-	m  map[string]int64
+	//ocsml:guardedby mu
+	m map[string]int64
 }
 
 func newCounterTable() *counterTable { return &counterTable{m: map[string]int64{}} }

@@ -1,0 +1,20 @@
+package detclean_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/detclean"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	vettest.Run(t, "testdata", detclean.Analyzer, "sim/internal/des")
+}
+
+func TestGatedPackage(t *testing.T) {
+	vettest.Run(t, "testdata", detclean.Analyzer, "app/transport")
+}
+
+func TestConformingPackage(t *testing.T) {
+	vettest.RunClean(t, "testdata", detclean.Analyzer, "clean/internal/model")
+}

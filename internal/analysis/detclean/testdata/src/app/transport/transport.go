@@ -1,0 +1,17 @@
+// Package transport is the gated fixture: real time is legal here but
+// must carry a //ocsml:wallclock declaration.
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+func report() {
+	start := time.Now() // want "time.Now without"
+	//ocsml:wallclock fixture: elapsed time of a real run
+	_ = time.Since(start)
+	_ = time.Since(start)        // want "time.Since without"
+	_ = rand.Int()               // want "global rand.Int without"
+	time.Sleep(time.Millisecond) // only Now/Since are directive-gated here
+}

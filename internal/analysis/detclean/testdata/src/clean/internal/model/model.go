@@ -1,0 +1,22 @@
+// Package model is a fully conforming deterministic package.
+package model
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	//ocsml:unordered key set, sorted before use
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

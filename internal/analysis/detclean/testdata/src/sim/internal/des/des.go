@@ -1,0 +1,36 @@
+// Package des is the deterministic-package fixture: its import path
+// ends in internal/des, so the strict rules apply.
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()          // want "time.Now in deterministic package"
+	time.Sleep(time.Second) // want "time.Sleep in deterministic package"
+	_ = rand.Intn(4)        // want "global rand.Intn in deterministic package"
+	_ = rand.Float64()      // want "global rand.Float64 in deterministic package"
+}
+
+func conforming(m map[string]int) []string {
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(4) // method on a seeded source: fine
+	var keys []string
+	//ocsml:unordered collects the key set; sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func leaky(m map[string]int) int {
+	n := 0
+	for range m { // want "map iteration order leaks"
+		n++
+	}
+	return n
+}

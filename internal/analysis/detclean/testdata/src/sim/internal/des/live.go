@@ -1,0 +1,16 @@
+package des
+
+import "time"
+
+// This file is the fixture's "real-time half": the file-level directive
+// demotes it from the strict rules to the directive-gated ones.
+//
+//ocsml:realtime fixture: applies schedules on the wall clock
+
+func gated() time.Duration {
+	base := time.Now() // want "time.Now without"
+	//ocsml:wallclock fixture: declared real-time site
+	d := time.Since(base)
+	time.AfterFunc(d, func() {}) // timer mechanics: unrestricted outside strict mode
+	return d
+}

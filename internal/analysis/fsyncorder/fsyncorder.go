@@ -1,0 +1,171 @@
+// Package fsyncorder implements the crash-consistency analyzer for the
+// stable-storage package: fsstore's recovery argument depends on the
+// write → fsync → rename → directory-sync ordering (a manifest must
+// never become visible before the bytes it references are durable), and
+// the torn-file chaos tests only exercise that discipline dynamically.
+// This analyzer enforces it structurally:
+//
+//   - every os.Rename call must be preceded, in the same function body,
+//     by a Sync() call on an *os.File (the temp file's contents are
+//     durable before the rename publishes them);
+//   - every os.Rename must be followed, in the same function body, by a
+//     directory sync — a call to a function named syncDir, or a Sync()
+//     on an *os.File after the rename (the rename itself is durable);
+//   - os.WriteFile is banned outright in the checked packages: it
+//     truncates in place, so a crash mid-write leaves a torn file that
+//     the atomic temp-file protocol exists to prevent.
+//
+// A rename that intentionally departs from the discipline carries
+// //ocsml:nofsync <why> on the call line or the line above.
+//
+// The check is lexical (source order within one function), not a true
+// dominance analysis: fsstore keeps the whole protocol inside
+// writeAtomic precisely so the ordering is locally visible.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ocsml/internal/analysis/vetkit"
+)
+
+// PackageSuffixes lists the import-path suffixes the analyzer applies
+// to — the packages that own an on-disk commit protocol.
+var PackageSuffixes = []string{"internal/fsstore", "fsstore"}
+
+// Analyzer is the fsyncorder analysis.
+var Analyzer = &vetkit.Analyzer{
+	Name: "fsyncorder",
+	Doc:  "enforce write→fsync→rename→dirsync ordering in the stable-storage package",
+	Run:  run,
+}
+
+const (
+	evFileSync = iota
+	evRename
+	evDirSync
+)
+
+type event struct {
+	pos  token.Pos
+	kind int
+}
+
+func run(pass *vetkit.Pass) error {
+	checked := false
+	for _, suf := range PackageSuffixes {
+		if vetkit.PathHasSuffix(pass.Pkg.Path(), suf) {
+			checked = true
+			break
+		}
+	}
+	if !checked {
+		return nil
+	}
+	for _, f := range pass.Files {
+		dirs := vetkit.FileDirectives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, dirs, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncDecl) {
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			// A plain `syncDir(...)` call (package-level helper).
+			if id, ok := call.Fun.(*ast.Ident); ok && strings.EqualFold(id.Name, "syncDir") {
+				events = append(events, event{call.Pos(), evDirSync})
+			}
+			return true
+		}
+		switch {
+		case isOsFunc(pass, sel, "Rename"):
+			events = append(events, event{call.Pos(), evRename})
+		case isOsFunc(pass, sel, "WriteFile"):
+			if !vetkit.HasDirective(dirs, pass.Fset, call.Pos(), "nofsync") {
+				pass.Reportf(call.Pos(), "os.WriteFile truncates in place and tears on crash: use the temp-file + fsync + rename protocol (writeAtomic)")
+			}
+		case sel.Sel.Name == "Sync" && isFileReceiver(pass, sel):
+			events = append(events, event{call.Pos(), evFileSync})
+		case strings.EqualFold(sel.Sel.Name, "syncDir"):
+			events = append(events, event{call.Pos(), evDirSync})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for i, ev := range events {
+		if ev.kind != evRename {
+			continue
+		}
+		if vetkit.HasDirective(dirs, pass.Fset, ev.pos, "nofsync") {
+			continue
+		}
+		synced := false
+		for _, before := range events[:i] {
+			if before.kind == evFileSync {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			pass.Reportf(ev.pos, "os.Rename in %s without a preceding File.Sync: the renamed file's contents may not be durable when the name becomes visible", fd.Name.Name)
+		}
+		dirSynced := false
+		for _, after := range events[i+1:] {
+			if after.kind == evDirSync || after.kind == evFileSync {
+				dirSynced = true
+				break
+			}
+		}
+		if !dirSynced {
+			pass.Reportf(ev.pos, "os.Rename in %s not followed by a directory sync: the rename itself may be lost on crash (call syncDir)", fd.Name.Name)
+		}
+	}
+}
+
+// isOsFunc reports whether sel resolves to the package-level os.<name>.
+func isOsFunc(pass *vetkit.Pass, sel *ast.SelectorExpr, name string) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "os" && fn.Name() == name
+}
+
+// isFileReceiver reports whether the receiver of a method call has type
+// *os.File.
+func isFileReceiver(pass *vetkit.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

@@ -1,0 +1,16 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/fsyncorder"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", fsyncorder.Analyzer, "bad/internal/fsstore")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", fsyncorder.Analyzer, "good/internal/fsstore")
+}

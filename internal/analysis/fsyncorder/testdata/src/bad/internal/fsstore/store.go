@@ -1,0 +1,35 @@
+// Package fsstore is the violating fixture for the fsync-ordering
+// analyzer.
+package fsstore
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func renameWithoutAnySync(dir string) error {
+	return os.Rename(filepath.Join(dir, "tmp"), filepath.Join(dir, "final")) // want "without a preceding File.Sync" "not followed by a directory sync"
+}
+
+func renameWithoutDirSync(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "tmp"))
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(dir, "final")) // want "not followed by a directory sync"
+}
+
+func tornWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile truncates in place"
+}
+
+func declaredException(dir string) error {
+	//ocsml:nofsync fixture: scratch file, durability not required
+	return os.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+}

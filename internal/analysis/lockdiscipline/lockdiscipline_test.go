@@ -1,0 +1,16 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/lockdiscipline"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", lockdiscipline.Analyzer, "lock")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", lockdiscipline.Analyzer, "lockclean")
+}

@@ -1,0 +1,91 @@
+// Package lock is the violating fixture for the lock-discipline
+// analyzer.
+package lock
+
+import (
+	"sort"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	//ocsml:guardedby mu
+	n int
+	//ocsml:guardedby mu
+	samples []int
+}
+
+func (c *counter) bad() int {
+	return c.n // want "c.n is guarded by c.mu, which is not held in bad"
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) earlyExit(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n // the unlock above is on an exit path: still held here
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "c.n is guarded by c.mu, which is not held in afterUnlock"
+}
+
+func (c *counter) unlockThenUseOnExitPath(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return c.n // want "c.n is guarded by c.mu, which is not held in unlockThenUseOnExitPath"
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) search(v int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Closure invoked synchronously under the lock: inherits the state.
+	return sort.Search(len(c.samples), func(i int) bool { return c.samples[i] >= v })
+}
+
+func (c *counter) escapes() func() int {
+	return func() int { return c.n } // want "c.n is guarded by c.mu, which is not held in escapes .closure."
+}
+
+func (c *counter) addLocked(d int) { c.n += d }
+
+func (c *counter) bumpLocked() {
+	c.mu.Lock() // want "bumpLocked is declared .Locked but acquires c.mu itself"
+	c.n++
+}
+
+func (c *counter) callWithoutLock() {
+	c.addLocked(1) // want "c.addLocked called without c's mutex held"
+}
+
+func (c *counter) callWithLock() {
+	c.mu.Lock()
+	c.addLocked(1)
+	c.mu.Unlock()
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // constructor: c has not escaped yet
+	return c
+}
+
+func (c *counter) declaredException() int {
+	return c.n //ocsml:nolock fixture: documented exception
+}

@@ -1,0 +1,37 @@
+// Package lockclean is the conforming fixture: every guarded access is
+// visibly under the mutex, and *Locked helpers are called locked.
+package lockclean
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	//ocsml:guardedby mu
+	m map[string]int64
+}
+
+func newTable() *table {
+	t := &table{}
+	t.m = map[string]int64{}
+	return t
+}
+
+func (t *table) add(k string, d int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked(k, d)
+}
+
+func (t *table) bumpLocked(k string, d int64) {
+	t.m[k] += d
+}
+
+func (t *table) snapshot() map[string]int64 {
+	out := map[string]int64{}
+	t.mu.Lock()
+	for k, v := range t.m {
+		out[k] = v
+	}
+	t.mu.Unlock()
+	return out
+}

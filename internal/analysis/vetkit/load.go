@@ -1,0 +1,247 @@
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Loader parses and type-checks packages from source. It resolves
+// imports under Roots (import-path prefix -> directory) by recursive
+// source loading, and everything else through the standard library's
+// source importer — no export data, no go/packages, no external
+// dependencies. Test files (_test.go) are not loaded; the analyzers
+// check production code, the test suite checks itself at run time.
+type Loader struct {
+	// Roots maps an import-path prefix to the directory holding its
+	// source tree. For a module checkout this is {modulePath: moduleDir};
+	// vettest maps a fixture tree the same way.
+	Roots map[string]string
+
+	Fset     *token.FileSet
+	Packages map[string]*Package // by import path, every source-loaded package
+
+	std  types.ImporterFrom
+	info *types.Info
+}
+
+// NewLoader builds a loader over the given import-path roots.
+func NewLoader(roots map[string]string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Roots:    roots,
+		Fset:     fset,
+		Packages: map[string]*Package{},
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+	}
+}
+
+// ModuleLoader returns a loader rooted at the module containing dir,
+// along with the module path read from go.mod.
+func ModuleLoader(dir string) (*Loader, string, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	return NewLoader(map[string]string{modPath: modDir}), modPath, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod.
+func findModule(dir string) (modDir, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("vetkit: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("vetkit: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolve maps an import path to a source directory using the longest
+// matching root prefix.
+func (l *Loader) resolve(path string) (string, bool) {
+	best, bestDir, ok := "", "", false
+	for prefix, dir := range l.Roots {
+		// The empty prefix (vettest's fixture root) matches every path.
+		if prefix == "" || path == prefix || strings.HasPrefix(path, prefix+"/") {
+			if !ok || len(prefix) >= len(best) {
+				best, bestDir, ok = prefix, dir, true
+			}
+		}
+	}
+	if !ok {
+		return "", false
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, best), "/")
+	return filepath.Join(bestDir, filepath.FromSlash(rel)), true
+}
+
+// Import implements types.Importer: module-rooted paths load from
+// source, everything else falls back to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.Packages[path]; ok {
+		return pkg.Types, nil
+	}
+	// A resolvable path with no source there (possible under the
+	// catch-all fixture root) falls through to the stdlib importer.
+	if dir, ok := l.resolve(path); ok && hasGoFiles(dir) {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, "", 0)
+}
+
+// LoadPackage loads (or returns the cached) package at the given import
+// path, which must resolve under one of the roots.
+func (l *Loader) LoadPackage(path string) (*Package, error) {
+	if pkg, ok := l.Packages[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("vetkit: import path %q is outside every root", path)
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vetkit: no Go source in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, l.info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		PkgPath: path, Dir: dir, Files: files,
+		Types: tpkg, Info: l.info, Fset: l.Fset,
+	}
+	l.Packages[path] = pkg
+	return pkg, nil
+}
+
+// Expand resolves command-line package patterns relative to the root
+// with the given import-path prefix: "<prefix>/..." (or "./...") walks
+// the tree; anything else is taken as one import path (a "./"-prefixed
+// pattern is rebased onto the root prefix). Directories named testdata,
+// hidden directories, and directories with no non-test Go files are
+// skipped.
+func (l *Loader) Expand(prefix string, patterns []string) ([]string, error) {
+	root, ok := l.Roots[prefix]
+	if !ok {
+		return nil, fmt.Errorf("vetkit: unknown root prefix %q", prefix)
+	}
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == prefix+"/..." || pat == "...":
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				base := filepath.Base(p)
+				if p != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+					return filepath.SkipDir
+				}
+				if !hasGoFiles(p) {
+					return nil
+				}
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					add(prefix)
+				} else {
+					add(prefix + "/" + filepath.ToSlash(rel))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(pat, "./"):
+			add(prefix + "/" + filepath.ToSlash(strings.TrimPrefix(pat, "./")))
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

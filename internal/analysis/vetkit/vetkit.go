@@ -1,0 +1,212 @@
+// Package vetkit is a small, dependency-free analysis framework modeled
+// on golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package (a Pass) and reports Diagnostics. The repository
+// deliberately has no external dependencies, so cmd/ocsmlvet cannot use
+// the real go/analysis multichecker; vetkit reimplements the slice of it
+// the ocsml analyzers need on top of go/parser and go/types alone.
+//
+// The API mirrors go/analysis closely enough that porting an analyzer to
+// the upstream framework is mechanical: Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report}, Diagnostic{Pos, Message}.
+//
+// # Directives
+//
+// The analyzers communicate with the code they check through
+// machine-readable comments of the form
+//
+//	//ocsml:<name> [argument or reason]
+//
+// placed on the flagged line, on the line directly above it, or in the
+// doc comment of the declaration. See the individual analyzers for the
+// directives they honor (wallclock, unordered, guardedby, locked,
+// nolock, nofsync, wirepayload).
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name, a doc string, and a Run
+// function applied to every package under analysis.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Dir is the directory the package was loaded from.
+	Dir string
+
+	// Program exposes every package the loader resolved from source,
+	// keyed by import path — analyzers that need whole-program context
+	// (wireexhaustive's payload registry) read it; most ignore it.
+	Program map[string]*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by Run
+}
+
+// A Package is one source-loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Fset    *token.FileSet
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package, program map[string]*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Dir:       pkg.Dir,
+				Program:   program,
+				report: func(d Diagnostic) {
+					d.Analyzer = a.Name
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// ---- directives ----
+
+// directivePrefix introduces every machine-readable comment vetkit
+// understands.
+const directivePrefix = "ocsml:"
+
+// A Directive is one parsed //ocsml:<name> comment.
+type Directive struct {
+	Name string // e.g. "wallclock"
+	Arg  string // remainder of the line, trimmed (reason or argument)
+	Line int    // line the comment sits on
+}
+
+// FileDirectives extracts every //ocsml: directive in the file, keyed by
+// the line the comment occupies.
+func FileDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
+	out := map[int][]Directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(text, directivePrefix)
+			name, arg, _ := strings.Cut(body, " ")
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], Directive{
+				Name: name,
+				Arg:  strings.TrimSpace(arg),
+				Line: line,
+			})
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether a directive of the given name covers pos:
+// it sits on the same line, or on the line directly above (a comment on
+// its own line annotating the statement below).
+func HasDirective(dirs map[int][]Directive, fset *token.FileSet, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	for _, d := range dirs[line] {
+		if d.Name == name {
+			return true
+		}
+	}
+	for _, d := range dirs[line-1] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveArg returns the argument of the named directive covering pos,
+// using the same placement rules as HasDirective.
+func DirectiveArg(dirs map[int][]Directive, fset *token.FileSet, pos token.Pos, name string) (string, bool) {
+	line := fset.Position(pos).Line
+	for _, d := range dirs[line] {
+		if d.Name == name {
+			return d.Arg, true
+		}
+	}
+	for _, d := range dirs[line-1] {
+		if d.Name == name {
+			return d.Arg, true
+		}
+	}
+	return "", false
+}
+
+// CommentGroupHas reports whether a doc comment group contains the named
+// directive (used for declarations, where the directive lives in the doc
+// comment rather than on the statement line).
+func CommentGroupHas(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if strings.HasPrefix(text, directivePrefix+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathHasSuffix reports whether an import path ends with the given
+// slash-separated suffix on a path-component boundary: "internal/des"
+// matches "ocsml/internal/des" but not "ocsml/internal/designer".
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}

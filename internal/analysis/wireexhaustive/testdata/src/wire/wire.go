@@ -1,0 +1,47 @@
+// Package wire is the violating codec fixture: it has the
+// appendPayload / decodePayload pair that activates the analyzer.
+package wire
+
+// MaxCtlTag bounds the encoded tag length.
+const MaxCtlTag = 6
+
+const (
+	TagOK    = "CK_OK"
+	TagLong  = "CK_TOO_LONG" // want "exceeding the codec.s MaxCtlTag"
+	TagSameA = "CK_DUP"      // want "control tag value .CK_DUP. is declared by wire.TagSameA and wire.TagSameB"
+	TagSameB = "CK_DUP"
+)
+
+// Ping is registered, encoded and decoded: fully conforming.
+//
+//ocsml:wirepayload
+type Ping struct{ Seq int }
+
+// Pong is registered but the codec does not know it.
+//
+//ocsml:wirepayload
+type Pong struct{ Seq int }
+
+// Rogue travels on the wire without being registered.
+type Rogue struct{}
+
+func appendPayload(dst []byte, p any) []byte { // want "payload type wire.Pong .*has no case in appendPayload"
+	switch p.(type) {
+	case nil:
+	case Ping:
+		dst = append(dst, 1)
+	case Rogue: // want "appendPayload encodes wire.Rogue, which is not marked"
+		dst = append(dst, 2)
+	}
+	return dst
+}
+
+func decodePayload(kind byte) any { // want "payload type wire.Pong .*is never constructed in decodePayload"
+	switch kind {
+	case 1:
+		return Ping{}
+	case 2:
+		return Rogue{} // want "decodePayload constructs wire.Rogue, which is not marked"
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package wireok is the conforming codec fixture.
+package wireok
+
+// MaxCtlTag bounds the encoded tag length.
+const MaxCtlTag = 16
+
+const (
+	TagBegin = "CK_BGN"
+	TagEnd   = "CK_END"
+)
+
+// Ping travels on the wire.
+//
+//ocsml:wirepayload
+type Ping struct{ Seq int }
+
+// Pong travels on the wire.
+//
+//ocsml:wirepayload
+type Pong struct{ Seq int }
+
+func appendPayload(dst []byte, p any) []byte {
+	switch p.(type) {
+	case nil:
+	case Ping:
+		dst = append(dst, 1)
+	case Pong:
+		dst = append(dst, 2)
+	}
+	return dst
+}
+
+func decodePayload(kind byte) any {
+	switch kind {
+	case 1:
+		return Ping{}
+	case 2:
+		return Pong{}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/vetkit/vettest"
+	"ocsml/internal/analysis/wireexhaustive"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", wireexhaustive.Analyzer, "wire")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", wireexhaustive.Analyzer, "wireok")
+}

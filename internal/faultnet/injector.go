@@ -1,5 +1,10 @@
 package faultnet
 
+// This file is the real-time half of faultnet: it applies the seeded,
+// deterministic schedules (schedule.go) to a live TCP mesh, so timers
+// and elapsed real time are its working material.
+//ocsml:realtime injector delays/reorders frames on the wall clock
+
 import (
 	"math/rand"
 	"sync"
@@ -35,8 +40,10 @@ type Stats struct {
 type Injector struct {
 	sched *Schedule
 
-	mu     sync.Mutex
-	base   time.Time
+	mu sync.Mutex
+	//ocsml:guardedby mu
+	base time.Time
+	//ocsml:guardedby mu
 	active bool
 
 	links map[[2]int]*linkState
@@ -48,11 +55,16 @@ type Injector struct {
 
 // linkState is the per-directed-link fault state.
 type linkState struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
+	mu sync.Mutex
+	//ocsml:guardedby mu
+	rng *rand.Rand
+	//ocsml:guardedby mu
 	faults []LinkFault // windows on this link, by From
-	parts  []Window    // partition windows covering this pair
-	held   []byte      // frame held back for an adjacent-swap reorder
+	//ocsml:guardedby mu
+	parts []Window // partition windows covering this pair
+	//ocsml:guardedby mu
+	held []byte // frame held back for an adjacent-swap reorder
+	//ocsml:guardedby mu
 	heldFn func([]byte)
 }
 
@@ -70,11 +82,12 @@ func NewInjector(s *Schedule) *Injector {
 	}
 	for _, f := range s.Links {
 		ls := link(f.Src, f.Dst)
-		ls.faults = append(ls.faults, f)
+		ls.faults = append(ls.faults, f) //ocsml:nolock construction: the injector has not escaped yet
 	}
 	for _, p := range s.Parts {
+		//ocsml:nolock construction: the injector has not escaped yet
 		link(p.A, p.B).parts = append(link(p.A, p.B).parts, p.Window)
-		link(p.B, p.A).parts = append(link(p.B, p.A).parts, p.Window)
+		link(p.B, p.A).parts = append(link(p.B, p.A).parts, p.Window) //ocsml:nolock construction, as above
 	}
 	return inj
 }
@@ -113,7 +126,7 @@ func (inj *Injector) Apply(src, dst int, frame []byte, deliver func(frame []byte
 		deliver(frame)
 		return
 	}
-	t := time.Since(base)
+	t := time.Since(base) //ocsml:wallclock fault windows are positions on the real chaos timeline
 
 	ls.mu.Lock()
 	for _, w := range ls.parts {

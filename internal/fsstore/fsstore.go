@@ -64,9 +64,11 @@ type Store struct {
 	dir  string
 	proc int
 	n    int
-	man  Manifest
+	//ocsml:guardedby mu
+	man Manifest
 	// finalizeErr, when set, is consulted before each Finalize writes
 	// anything — the error-injection hook of the durability tests.
+	//ocsml:guardedby mu
 	finalizeErr func(checkpoint.Record) error
 }
 
@@ -171,8 +173,8 @@ func (s *Store) rebuildManifest() error {
 		man.Seqs = append(man.Seqs, seq)
 	}
 	sort.Ints(man.Seqs)
-	s.man = man
-	mdata, err := json.MarshalIndent(&s.man, "", " ")
+	s.man = man                                       //ocsml:nolock Open-time rebuild: the store has not escaped its constructor yet
+	mdata, err := json.MarshalIndent(&s.man, "", " ") //ocsml:nolock Open-time rebuild, as above
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,107 @@
+// Package leakcheck verifies that a test binary's goroutines have all
+// exited when its tests finish — the stdlib-only equivalent of
+// go.uber.org/goleak. Packages whose tests start real goroutines (TCP
+// meshes, daemons, chaos injectors) wrap their TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the tests pass, Main snapshots every goroutine stack, retries
+// while transient goroutines (timer callbacks, closing connections)
+// drain, and fails the binary if anything interesting survives. A leak
+// here is a real bug: the runtime's shutdown paths (Cluster.Stop,
+// Node.Close, daemon teardown) are supposed to reap every goroutine
+// they start.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Main runs the tests, then fails the binary if goroutines leaked.
+func Main(m interface{ Run() int }) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// checkRounds x checkInterval bounds how long Check waits for transient
+// goroutines to drain (~5s), without reading the wall clock.
+const (
+	checkRounds   = 500
+	checkInterval = 10 * time.Millisecond
+)
+
+// Check waits for every interesting goroutine to exit and returns an
+// error naming the survivors.
+func Check() error {
+	var leaked []string
+	for i := 0; i < checkRounds; i++ {
+		leaked = interesting()
+		if len(leaked) == 0 {
+			return nil
+		}
+		time.Sleep(checkInterval)
+	}
+	return fmt.Errorf("%d goroutine(s) still running after tests:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// interesting snapshots all goroutine stacks and filters out the ones a
+// finished test binary legitimately has.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || benign(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// benign reports whether a goroutine stack belongs to the test harness
+// or the runtime rather than code under test.
+func benign(stack string) bool {
+	first, _, _ := strings.Cut(stack, "\n")
+	if strings.HasPrefix(first, "goroutine 1 ") {
+		return true // main goroutine: runs leakcheck itself
+	}
+	for _, marker := range []string{
+		"testing.(*T).Run",          // parked subtest parents
+		"testing.(*M).startAlarm",   // test timeout timer
+		"testing.runFuzzing",        // fuzz workers
+		"runtime.goexit",            // placeholder for brand-new goroutines
+		"created by runtime",        // GC, finalizers
+		"os/signal.signal_recv",     // signal handler
+		"runtime/trace.Start",       // trace flusher
+		"runtime.ReadTrace",         // trace reader
+		"testing.(*F).Fuzz",         // fuzz target
+		"runtime.ensureSigM",        // signal mask goroutine
+		"time.goFunc",               // an AfterFunc callback mid-fire
+		"net/http.(*Transport).",    // stdlib keep-alive pools
+		"internal/poll.runtime_pol", // netpoller internals
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

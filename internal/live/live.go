@@ -75,7 +75,8 @@ type Cluster struct {
 	storageCh  chan storeReq
 	storageQ   atomic.Int32
 	countersMu sync.Mutex
-	counters   map[string]int64
+	//ocsml:guardedby countersMu
+	counters map[string]int64
 
 	draining atomic.Bool
 }
@@ -119,7 +120,7 @@ func New(cfg Config, pf engine.ProtoFactory, af engine.AppFactory) *Cluster {
 // Run executes the cluster and returns the checkpoint store once the
 // workload completes and the drain elapses.
 func (c *Cluster) Run() error {
-	c.start = time.Now()
+	c.start = time.Now() //ocsml:wallclock live runtime anchors virtual time at start
 	c.wg.Add(1)
 	go c.storageLoop()
 	for _, n := range c.nodes {
@@ -162,6 +163,7 @@ func (c *Cluster) count(name string, delta int64) {
 	c.countersMu.Unlock()
 }
 
+//ocsml:wallclock the live runtime's virtual clock IS elapsed real time
 func (c *Cluster) now() des.Time { return des.Time(time.Since(c.start)) }
 
 func (c *Cluster) storageLoop() {

@@ -33,7 +33,8 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge tracks a level and its high-water mark.
 type Gauge struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ocsml:guardedby mu
 	cur, max int64
 }
 
@@ -65,10 +66,13 @@ func (g *Gauge) Max() int64 {
 // It stores all samples; simulations are bounded, so this is fine and
 // keeps percentiles exact.
 type Summary struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//ocsml:guardedby mu
 	samples []float64
-	sum     float64
-	sorted  bool
+	//ocsml:guardedby mu
+	sum float64
+	//ocsml:guardedby mu
+	sorted bool
 }
 
 // Observe records one sample.
@@ -108,7 +112,7 @@ func (s *Summary) Mean() float64 {
 func (s *Summary) Min() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ensureSorted()
+	s.ensureSortedLocked()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -119,7 +123,7 @@ func (s *Summary) Min() float64 {
 func (s *Summary) Max() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ensureSorted()
+	s.ensureSortedLocked()
 	if len(s.samples) == 0 {
 		return 0
 	}
@@ -134,7 +138,7 @@ func (s *Summary) Percentile(p float64) float64 {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ensureSorted()
+	s.ensureSortedLocked()
 	n := len(s.samples)
 	if n == 0 {
 		return 0
@@ -163,7 +167,7 @@ func (s *Summary) Stddev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
-func (s *Summary) ensureSorted() {
+func (s *Summary) ensureSortedLocked() {
 	if !s.sorted {
 		sort.Float64s(s.samples)
 		s.sorted = true

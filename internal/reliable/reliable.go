@@ -53,6 +53,8 @@ const (
 
 // Ack is the acknowledgement payload: the envelope id being confirmed.
 // Exported so the real-network runtime (internal/wire) can serialize it.
+//
+//ocsml:wirepayload
 type Ack struct {
 	ID int64
 }

@@ -79,9 +79,12 @@ type Event struct {
 // (goroutine-based) runtime can share it; the discrete-event engine uses
 // it single-threaded.
 type Recorder struct {
-	mu      sync.Mutex
-	events  []Event
-	gseq    int64
+	mu sync.Mutex
+	//ocsml:guardedby mu
+	events []Event
+	//ocsml:guardedby mu
+	gseq int64
+	//ocsml:guardedby mu
 	enabled bool
 }
 

@@ -318,6 +318,7 @@ func tearTemp(datadir string, proc int) error {
 // sleepUntil sleeps until the chaos timeline (anchored at base) reaches
 // at; it returns immediately if that instant already passed.
 func sleepUntil(base time.Time, at time.Duration) {
+	//ocsml:wallclock chaos schedule runs on the real clock, anchored at base
 	if d := at - time.Since(base); d > 0 {
 		time.Sleep(d)
 	}
@@ -326,7 +327,7 @@ func sleepUntil(base time.Time, at time.Duration) {
 // waitLineAtLeast polls the durable manifests until their intersection
 // reaches want, returning the line found.
 func waitLineAtLeast(datadir string, n, want int, timeout time.Duration) (int, error) {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //ocsml:wallclock polling deadline for durable manifests
 	for {
 		line, err := fsstore.LastCompleteSeq(datadir, n)
 		if err != nil {
@@ -335,7 +336,7 @@ func waitLineAtLeast(datadir string, n, want int, timeout time.Duration) (int, e
 		if line >= want {
 			return line, nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //ocsml:wallclock polling deadline for durable manifests
 			return line, fmt.Errorf("transport: durable line %d did not reach %d within %v", line, want, timeout)
 		}
 		time.Sleep(20 * time.Millisecond)

@@ -59,11 +59,14 @@ type Cluster struct {
 	base  time.Time
 	epoch int
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ocsml:guardedby mu
 	counters map[string]int64
-	done     []bool
-	doneCh   chan struct{}
+	//ocsml:guardedby mu
+	done   []bool
+	doneCh chan struct{}
 
+	//ocsml:guardedby mu
 	makespan time.Duration
 }
 
@@ -83,7 +86,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:      cfg,
 		Rec:      trace.NewRecorder(),
 		Ckpts:    checkpoint.NewStore(cfg.N),
-		base:     time.Now(),
+		base:     time.Now(), //ocsml:wallclock shared time origin of the real-network cluster
 		counters: map[string]int64{},
 		done:     make([]bool, cfg.N),
 		doneCh:   make(chan struct{}, 1),
@@ -186,7 +189,11 @@ func (c *Cluster) Run() error {
 	if err := c.WaitDone(c.cfg.Timeout); err != nil {
 		return err
 	}
-	c.makespan = time.Since(c.base)
+	//ocsml:wallclock makespan of a real-network run is wall time by definition
+	makespan := time.Since(c.base)
+	c.mu.Lock()
+	c.makespan = makespan
+	c.mu.Unlock()
 	time.Sleep(c.cfg.Drain)
 	return nil
 }
@@ -408,10 +415,13 @@ func (c *Cluster) Report() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	makespan := c.makespan
+	c.mu.Unlock()
 	r := &Report{
 		N:              c.cfg.N,
 		Completed:      c.allDone(),
-		Makespan:       c.makespan,
+		Makespan:       makespan,
 		ConsistentSeqs: seqs,
 		Counters:       c.Counters(),
 	}

@@ -1,0 +1,12 @@
+package transport
+
+import (
+	"testing"
+
+	"ocsml/internal/leakcheck"
+)
+
+// TestMain fails the package's test binary when a Cluster, Node or Mesh
+// leaves a goroutine running after the tests pass — the shutdown paths
+// (Stop, Close, chaos teardown) must reap everything they start.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

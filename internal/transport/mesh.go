@@ -66,7 +66,8 @@ type Mesh struct {
 	wg      sync.WaitGroup
 	once    sync.Once
 	connsMu sync.Mutex
-	conns   map[net.Conn]struct{}
+	//ocsml:guardedby connsMu
+	conns map[net.Conn]struct{}
 
 	framesSent, framesRecv atomic.Int64
 	bytesSent, bytesRecv   atomic.Int64

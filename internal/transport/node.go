@@ -128,7 +128,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg.Count = func(string, int64) {}
 	}
 	if cfg.Base.IsZero() {
-		cfg.Base = time.Now()
+		cfg.Base = time.Now() //ocsml:wallclock standalone node anchors its own time origin
 	}
 	n := &Node{
 		cfg:       cfg,
@@ -361,6 +361,8 @@ func (n *Node) ID() int { return n.cfg.ID }
 func (n *Node) N() int { return n.cfg.N }
 
 // Now implements protocol.Env: real time since the shared base.
+//
+//ocsml:wallclock the real-network runtime's virtual clock IS elapsed real time
 func (n *Node) Now() des.Time { return des.Time(time.Since(n.cfg.Base)) }
 
 // Rand implements protocol.Env.

@@ -115,7 +115,7 @@ func Coordinate(cfg CoordinatorConfig, ln net.Listener) (RecoveryDecision, error
 	// abandoned attempt's leftovers carry a different round and are
 	// ignored. Wall-clock uniqueness across incarnations suffices —
 	// rounds never appear in deterministic reports.
-	round := time.Now().UnixNano()
+	round := time.Now().UnixNano() //ocsml:wallclock round ids need cross-incarnation uniqueness, never replayed
 	send := func(dst int, tag string, rb protocol.RbMsg) {
 		frame, err := wire.Encode(&protocol.Envelope{
 			Src: cfg.ID, Dst: dst, Kind: protocol.KindCtl, CtlTag: tag, Payload: rb,

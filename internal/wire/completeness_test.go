@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/vetkit"
+	"ocsml/internal/analysis/wireexhaustive"
+)
+
+// TestPayloadRegistryComplete cross-checks the //ocsml:wirepayload
+// registry — collected from source exactly the way cmd/ocsmlvet does —
+// against what this package actually exercises:
+//
+//  1. every registered payload type round-trips through Encode/Decode
+//     via at least one sample envelope, and comes back as the same kind;
+//  2. the checked-in fuzz corpus holds at least one decodable seed per
+//     registered kind (plus the empty payload), so a new payload type
+//     cannot ship without fuzz coverage.
+func TestPayloadRegistryComplete(t *testing.T) {
+	loader, modPath, err := vetkit.ModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadPackage(modPath + "/internal/wire"); err != nil {
+		t.Fatal(err)
+	}
+	registry := wireexhaustive.PayloadNames(loader.Packages)
+	if len(registry) == 0 {
+		t.Fatal("no //ocsml:wirepayload types found in the program")
+	}
+
+	sampled := map[string]bool{}
+	for _, e := range sampleEnvelopes() {
+		b, err := Encode(e)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", e, err)
+		}
+		d, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", e, err)
+		}
+		if got, want := PayloadKind(d.Payload), PayloadKind(e.Payload); got != want {
+			t.Errorf("round trip changed payload kind: sent %s, got %s", want, got)
+		}
+		sampled[PayloadKind(d.Payload)] = true
+	}
+	for _, kind := range registry {
+		if !sampled[kind] {
+			t.Errorf("registered payload %s has no sample envelope: add one to sampleEnvelopes so it round-trips and seeds the corpus", kind)
+		}
+	}
+
+	want := append(append([]string{}, registry...), "nil")
+	missing, err := wireexhaustive.CheckCorpus(corpusDir, func(b []byte) (string, bool) {
+		e, err := Decode(b)
+		if err != nil {
+			return "", false
+		}
+		return PayloadKind(e.Payload), true
+	}, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range missing {
+		t.Errorf("fuzz corpus has no seed decoding to payload kind %s: regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire", kind)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"reflect"
 
 	"ocsml/internal/core"
 	"ocsml/internal/des"
@@ -64,6 +65,17 @@ var (
 	ErrPayload   = errors.New("wire: unknown payload type")
 	ErrTrailing  = errors.New("wire: trailing bytes after envelope")
 )
+
+// PayloadKind names a payload's kind: "nil" for the empty payload,
+// otherwise the package-qualified type name ("core.Piggyback"). The
+// names line up with the //ocsml:wirepayload registry that
+// cmd/ocsmlvet's wireexhaustive analyzer checks against the corpus.
+func PayloadKind(payload any) string {
+	if payload == nil {
+		return "nil"
+	}
+	return reflect.TypeOf(payload).String()
+}
 
 // Encode serializes the envelope into a fresh buffer.
 func Encode(e *protocol.Envelope) ([]byte, error) {
