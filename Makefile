@@ -16,9 +16,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# vet runs the standard toolchain vet plus the repo's own analyzers
-# (cmd/ocsmlvet): wire-codec exhaustiveness, determinism, lock
-# discipline, fsync ordering. See DESIGN.md §10.
+# vet runs the standard toolchain vet plus the repo's own seven
+# analyzers (cmd/ocsmlvet): wire-codec exhaustiveness, determinism,
+# lock discipline, fsync ordering, durability error flow, piggyback
+# completeness, and the checkpoint state machine. See DESIGN.md §10-11.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/ocsmlvet ./...

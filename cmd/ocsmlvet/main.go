@@ -1,25 +1,37 @@
-// Command ocsmlvet is the repository's analysis suite: four custom
+// Command ocsmlvet is the repository's analysis suite: seven custom
 // analyzers that mechanically enforce the invariants the runtime
 // depends on but the compiler cannot see.
 //
-//	wireexhaustive  every //ocsml:wirepayload type has an encoder, a
-//	                decoder, and a checked-in fuzz seed; control tags
-//	                fit MaxCtlTag and do not collide
-//	detclean        deterministic packages stay a pure function of the
-//	                seed (no wall clock, no global rand, no map-order
-//	                dependent iteration); wall-clock reads elsewhere
-//	                carry //ocsml:wallclock
-//	lockdiscipline  *Locked functions are called with the lock held;
-//	                //ocsml:guardedby fields are accessed under their
-//	                mutex
-//	fsyncorder      fsstore renames follow write→fsync→rename→dirsync
+//	wireexhaustive     every //ocsml:wirepayload type has an encoder, a
+//	                   decoder, and a checked-in fuzz seed; control tags
+//	                   fit MaxCtlTag and do not collide
+//	detclean           deterministic packages stay a pure function of the
+//	                   seed (no wall clock, no global rand, no map-order
+//	                   dependent iteration); wall-clock reads elsewhere
+//	                   carry //ocsml:wallclock
+//	lockdiscipline     *Locked functions are called with the lock held;
+//	                   //ocsml:guardedby fields are accessed under their
+//	                   mutex
+//	fsyncorder         fsstore renames follow write→fsync→rename→dirsync
+//	errflow            errors from the durability paths (Finalize,
+//	                   WriteStable, fsync, rename) reach a return or a
+//	                   counted metric; discards need //ocsml:errsink
+//	piggybackcomplete  OnAppSend attaches the piggyback payload on every
+//	                   path, OnDeliver consumes it before mutating
+//	                   checkpoint state; baselines opt out with
+//	                   //ocsml:nopiggyback
+//	statemachine       every write to the //ocsml:state-annotated
+//	                   checkpoint status field is a declared transition
 //
 // Usage:
 //
-//	ocsmlvet [-list] [packages]
+//	ocsmlvet [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
 // status is 1 when any diagnostic is reported, 2 on a load error.
+// Diagnostics print in deterministic (file, line, column, analyzer)
+// order with exact duplicates removed; -json emits one JSON object per
+// finding, one per line, for tooling.
 //
 // The suite is wired into `make lint` and CI; a finding is a build
 // failure, not advice. The analyzers are stdlib-only (go/parser +
@@ -30,14 +42,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"ocsml/internal/analysis/detclean"
+	"ocsml/internal/analysis/errflow"
 	"ocsml/internal/analysis/fsyncorder"
 	"ocsml/internal/analysis/lockdiscipline"
+	"ocsml/internal/analysis/piggybackcomplete"
+	"ocsml/internal/analysis/statemachine"
 	"ocsml/internal/analysis/vetkit"
 	"ocsml/internal/analysis/wireexhaustive"
 	"ocsml/internal/wire"
@@ -48,14 +64,29 @@ var analyzers = []*vetkit.Analyzer{
 	detclean.Analyzer,
 	lockdiscipline.Analyzer,
 	fsyncorder.Analyzer,
+	errflow.Analyzer,
+	piggybackcomplete.Analyzer,
+	statemachine.Analyzer,
+}
+
+// finding is the -json wire format: one object per diagnostic, one per
+// line, matching the GitHub Actions problem matcher in
+// .github/problem-matchers/ocsmlvet.json.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -84,34 +115,51 @@ func main() {
 		}
 		pkgs = append(pkgs, pkg)
 	}
+	program := vetkit.NewProgram(loader.Packages)
 
-	diags, err := vetkit.Run(analyzers, pkgs, loader.Packages)
+	diags, err := vetkit.Run(analyzers, pkgs, program)
 	if err != nil {
 		fatal(err)
 	}
+	var findings []finding
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		findings = append(findings, finding{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
 	}
 
 	// Fuzz-corpus completeness: wireexhaustive's dynamic half. Every
 	// registered payload kind must have at least one decodable seed
 	// checked in, so the fuzzer actually exercises each codec arm.
-	failures := len(diags)
 	if wirePkg, ok := loader.Packages[modPath+"/internal/wire"]; ok {
 		corpus := filepath.Join(wirePkg.Dir, "testdata", "fuzz", "FuzzWireRoundTrip")
-		want := append(wireexhaustive.PayloadNames(loader.Packages), "nil")
+		want := append(wireexhaustive.PayloadNames(program), "nil")
 		missing, err := wireexhaustive.CheckCorpus(corpus, decodePayloadKind, want)
 		if err != nil {
 			fatal(err)
 		}
 		for _, kind := range missing {
-			fmt.Printf("%s: wireexhaustive: payload kind %s has no decodable seed in the checked-in fuzz corpus (regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire)\n", corpus, kind)
-			failures++
+			findings = append(findings, finding{
+				File: corpus, Line: 1, Col: 1, Analyzer: "wireexhaustive",
+				Message: fmt.Sprintf("payload kind %s has no decodable seed in the checked-in fuzz corpus (regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire)", kind),
+			})
 		}
 	}
 
-	if failures > 0 {
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(f); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,484 @@
+// Package errflow implements the durability error-flow analyzer. The
+// recovery argument in DESIGN.md rests on the manifest watermark never
+// advancing past a write that failed — exactly the bug class PR 3 fixed
+// by hand in persistFinalized. This analyzer makes the discipline
+// mechanical: an error produced anywhere on a durability path must be
+// observed.
+//
+// Durability paths are found interprocedurally. The seeds are the
+// primitives a durable commit is made of — os.Rename, os.Remove, and
+// (*os.File).Sync — and the source set is their transitive closure over
+// the program callgraph: any error-returning function that statically
+// calls a seed or another source (fsstore's writeAtomic, syncDir,
+// Finalize, WriteStable, TruncateAfter, ...) is itself a source.
+//
+// A call to a source creates an obligation on the error it returns. The
+// obligation is discharged by reading the error — in a condition, a
+// return statement, a call argument, or any other expression (reads
+// inside nested function literals count: a closure that checks the
+// error later still observes it). A forward may-analysis over the
+// function's control-flow graph reports:
+//
+//   - the error assigned to the blank identifier;
+//   - the call used as a bare statement, or deferred / spawned with its
+//     result discarded;
+//   - the error variable overwritten while the previous error is still
+//     unread;
+//   - an obligation still pending on some path reaching the function's
+//     exit.
+//
+// A deliberate discard (best-effort temp-file cleanup on an error path
+// that already reports a better error) carries //ocsml:errsink <why> on
+// the call line or the line above.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ocsml/internal/analysis/vetkit"
+)
+
+// Analyzer is the errflow analysis.
+var Analyzer = &vetkit.Analyzer{
+	Name: "errflow",
+	Doc:  "errors from durability paths (rename/fsync/Finalize/WriteStable) must be observed; discards need //ocsml:errsink",
+	Run:  run,
+}
+
+// sourceCache memoizes the durability-source set per program. Analyzer
+// passes run sequentially within one vetkit.Run, so plain maps suffice.
+var sourceCache = map[*vetkit.Program]map[*types.Func]bool{}
+
+func run(pass *vetkit.Pass) error {
+	src := durabilitySources(pass.Program)
+	cg := pass.Program.CallGraph()
+	for _, f := range pass.Files {
+		dirs := vetkit.FileDirectives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := cg.Node(obj)
+			if node == nil {
+				continue
+			}
+			sites := map[*ast.CallExpr]*vetkit.CallSite{}
+			for _, s := range node.Calls {
+				sites[s.Call] = s
+			}
+			c := &checker{
+				pass: pass, dirs: dirs, src: src, sites: sites,
+				fn: fd.Name.Name, results: fd.Type.Results,
+			}
+			c.checkBody(fd.Body, nil)
+			// Every nested function literal gets its own flow graph:
+			// its statements are not part of the enclosing CFG, and an
+			// obligation created inside the closure must be discharged
+			// inside it.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lc := &checker{
+						pass: pass, dirs: dirs, src: src, sites: sites,
+						fn: fd.Name.Name + " (func literal)", results: lit.Type.Results,
+					}
+					lc.checkBody(lit.Body, lit)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// durabilitySources computes the transitive closure of error-returning
+// functions over the seed primitives.
+func durabilitySources(program *vetkit.Program) map[*types.Func]bool {
+	if src, ok := sourceCache[program]; ok {
+		return src
+	}
+	cg := program.CallGraph()
+	funcs := cg.Funcs()
+	src := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range funcs {
+			if src[n.Obj] || vetkit.ErrorResultIndex(n.Obj) < 0 {
+				continue
+			}
+			for _, site := range n.Calls {
+				// A call inside a nested literal runs when the closure
+				// runs, not on this function's own durability path.
+				if site.InLit || site.Callee == nil {
+					continue
+				}
+				if isSeed(site.Callee.Obj) || src[site.Callee.Obj] {
+					src[n.Obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	sourceCache[program] = src
+	return src
+}
+
+// isSeed reports whether fn is one of the durability primitives.
+func isSeed(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg().Path() == "os" && (fn.Name() == "Rename" || fn.Name() == "Remove")
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File" &&
+		fn.Name() == "Sync"
+}
+
+// An oblig is one unread durability error: where it was produced and by
+// what.
+type oblig struct {
+	pos    token.Pos
+	callee string
+}
+
+// fact is the may-analysis lattice element: the set of variables holding
+// an unread durability error. Merge is union, so an error read on only
+// one of two joining paths stays pending.
+type fact map[*types.Var]oblig
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeFacts(a, b fact) fact {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalFacts(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type checker struct {
+	pass    *vetkit.Pass
+	dirs    map[int][]vetkit.Directive
+	src     map[*types.Func]bool
+	sites   map[*ast.CallExpr]*vetkit.CallSite
+	fn      string
+	results *ast.FieldList
+	// lit bounds the body under analysis when it is a function literal;
+	// writes to captured outer variables escape the literal's graph.
+	lit *ast.FuncLit
+}
+
+func (c *checker) checkBody(body *ast.BlockStmt, lit *ast.FuncLit) {
+	c.lit = lit
+	g := vetkit.NewCFG(body)
+	// Solve silently first (a loop body's transfer runs once per
+	// fixpoint iteration), then replay each reachable block once with
+	// reporting on.
+	in := vetkit.Forward(g, fact{},
+		func(b *vetkit.Block, f fact) fact { return c.transfer(b, f, false) },
+		mergeFacts, equalFacts)
+	for _, b := range g.Blocks {
+		entry, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		out := c.transfer(b, entry, true)
+		if b == g.Exit {
+			c.reportPending(out)
+		}
+	}
+}
+
+// reportPending flags every obligation still live at the function exit.
+func (c *checker) reportPending(f fact) {
+	for _, ob := range f {
+		if c.sink(ob.pos) {
+			continue
+		}
+		c.pass.Reportf(ob.pos, "error from %s may be dropped on some path through %s: durability failures must reach a return or a read", ob.callee, c.fn)
+	}
+}
+
+// transfer applies one block's statements to the incoming fact.
+func (c *checker) transfer(b *vetkit.Block, in fact, report bool) fact {
+	f := in.clone()
+	for _, n := range b.Nodes {
+		c.node(n, f, report)
+	}
+	return f
+}
+
+func (c *checker) node(n ast.Node, f fact, report bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.consume(rhs, f)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				// Index and selector targets read their operands.
+				c.consume(lhs, f)
+			}
+		}
+		c.assign(s, f, report)
+	case *ast.ExprStmt:
+		c.consume(s.X, f)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && report {
+			if fn, ok := c.producing(call); ok && !c.sink(call.Pos()) {
+				c.pass.Reportf(call.Pos(), "error from %s discarded in %s: durability failures must reach a return or a read (or carry //ocsml:errsink <why>)", calleeName(fn), c.fn)
+			}
+		}
+	case *ast.DeferStmt:
+		c.deferred(s.Call, "deferred", f, report)
+	case *ast.GoStmt:
+		c.deferred(s.Call, "spawned", f, report)
+	case *ast.DeclStmt:
+		// var err error = f() — treat like the equivalent assignment.
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				c.consume(v, f)
+			}
+			if len(vs.Values) == 1 {
+				if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+					c.produced(call, identExprs(vs.Names), f, report)
+				}
+			}
+		}
+	default:
+		c.consume(n, f)
+	}
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// deferred flags a defer/go whose call directly produces a durability
+// error: the result has no receiver at all.
+func (c *checker) deferred(call *ast.CallExpr, how string, f fact, report bool) {
+	c.consume(call, f)
+	if !report {
+		return
+	}
+	if fn, ok := c.producing(call); ok && !c.sink(call.Pos()) {
+		c.pass.Reportf(call.Pos(), "error from %s %s in %s with its result discarded: durability failures must reach a return or a read (or carry //ocsml:errsink <why>)", calleeName(fn), how, c.fn)
+	}
+}
+
+// assign applies the writes of one assignment: new obligations for
+// durability errors bound to variables, findings for blank binds and
+// for overwriting a still-pending error.
+func (c *checker) assign(s *ast.AssignStmt, f fact, report bool) {
+	// Map producing calls to the identifiers receiving their error.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			c.overwrite(s.Lhs, f, report)
+			c.produced(call, s.Lhs, f, report)
+			return
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		c.overwrite(s.Lhs, f, report)
+		for i, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				c.produced(call, s.Lhs[i:i+1], f, report)
+			}
+		}
+		return
+	}
+	c.overwrite(s.Lhs, f, report)
+}
+
+// overwrite reports and clears obligations on variables about to be
+// re-assigned before their pending error was read.
+func (c *checker) overwrite(lhs []ast.Expr, f fact, report bool) {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := c.identVar(id)
+		if v == nil {
+			continue
+		}
+		ob, pending := f[v]
+		if !pending {
+			continue
+		}
+		delete(f, v)
+		if report && !c.sink(ob.pos) {
+			c.pass.Reportf(ob.pos, "error from %s overwritten in %s before it is read: durability failures must reach a return or a read", ob.callee, c.fn)
+		}
+	}
+}
+
+// produced records the obligation (or finding) for one resolved call
+// whose results bind to lhs.
+func (c *checker) produced(call *ast.CallExpr, lhs []ast.Expr, f fact, report bool) {
+	fn, ok := c.producing(call)
+	if !ok {
+		return
+	}
+	idx := vetkit.ErrorResultIndex(fn)
+	if idx < 0 {
+		return
+	}
+	if len(lhs) == 1 {
+		idx = 0 // single receiver takes the whole (single) result
+	}
+	if idx >= len(lhs) {
+		return
+	}
+	id, ok := lhs[idx].(*ast.Ident)
+	if !ok {
+		// Stored into a field or element: the error escapes to a place
+		// this function-local analysis cannot track; treat as observed.
+		return
+	}
+	if id.Name == "_" {
+		if report && !c.sink(call.Pos()) {
+			c.pass.Reportf(call.Pos(), "error from %s assigned to _ in %s: durability failures must reach a return or a read (or carry //ocsml:errsink <why>)", calleeName(fn), c.fn)
+		}
+		return
+	}
+	v := c.identVar(id)
+	if v == nil {
+		return
+	}
+	if c.escapes(v) {
+		// A named result is read by every return; a variable captured
+		// from the enclosing function outlives this literal's graph.
+		return
+	}
+	f[v] = oblig{pos: call.Pos(), callee: calleeName(fn)}
+}
+
+// identVar resolves an assignment-target identifier to its variable.
+func (c *checker) identVar(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// escapes reports whether obligations on v cannot be tracked within the
+// body under analysis: v is a named result (read implicitly by return)
+// or, for a function literal, declared outside the literal.
+func (c *checker) escapes(v *types.Var) bool {
+	if c.results != nil && c.results.Pos().IsValid() &&
+		v.Pos() >= c.results.Pos() && v.Pos() <= c.results.End() {
+		return true
+	}
+	if c.lit != nil && (v.Pos() < c.lit.Pos() || v.Pos() > c.lit.End()) {
+		return true
+	}
+	return false
+}
+
+// consume discharges the obligation on every variable read under n.
+// Reads inside nested function literals count: the closure observes the
+// error when it runs.
+func (c *checker) consume(n ast.Node, f fact) {
+	if n == nil || len(f) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			delete(f, v)
+		}
+		return true
+	})
+}
+
+// producing resolves call to a durability source via the callgraph.
+func (c *checker) producing(call *ast.CallExpr) (*types.Func, bool) {
+	site, ok := c.sites[call]
+	if !ok || site.Callee == nil {
+		return nil, false
+	}
+	fn := site.Callee.Obj
+	if isSeed(fn) || c.src[fn] {
+		return fn, true
+	}
+	return nil, false
+}
+
+// sink reports an //ocsml:errsink directive covering pos.
+func (c *checker) sink(pos token.Pos) bool {
+	return vetkit.HasDirective(c.dirs, c.pass.Fset, pos, "errsink")
+}
+
+// calleeName renders a function for diagnostics: pkg.Func or Type.Method.
+func calleeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

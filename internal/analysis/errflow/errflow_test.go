@@ -1,0 +1,16 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/errflow"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", errflow.Analyzer, "errbad")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", errflow.Analyzer, "errgood")
+}

@@ -1,0 +1,55 @@
+// Package errbad exercises every errflow finding class: durability
+// errors discarded, overwritten, or pending on some path.
+package errbad
+
+import "os"
+
+func blank(a, b string) {
+	_ = os.Rename(a, b) // want `error from os.Rename assigned to _ in blank`
+}
+
+func bare(p string) {
+	os.Remove(p) // want `error from os.Remove discarded in bare`
+}
+
+func deferred(f *os.File) {
+	defer f.Sync() // want `error from File.Sync deferred in deferred`
+}
+
+func spawned(f *os.File) {
+	go f.Sync() // want `error from File.Sync spawned in spawned`
+}
+
+func overwrite(a, b string) error {
+	err := os.Rename(a, b) // want `error from os.Rename overwritten in overwrite before it is read`
+	err = os.Remove(a)
+	return err
+}
+
+func somePath(a, b string, keep bool) error {
+	err := os.Rename(a, b) // want `error from os.Rename may be dropped on some path through somePath`
+	if keep {
+		return err
+	}
+	return nil
+}
+
+// commit reaches the seeds through a hop; its own error result makes it
+// a durability source for callers, so the discard below is found
+// interprocedurally.
+func commit(a, b string) error {
+	if err := os.Rename(a, b); err != nil {
+		return err
+	}
+	return os.Remove(a)
+}
+
+func viaHelper(a, b string) {
+	_ = commit(a, b) // want `error from errbad.commit assigned to _ in viaHelper`
+}
+
+func inLiteral(p string) func() {
+	return func() {
+		os.Remove(p) // want `error from os.Remove discarded in inLiteral \(func literal\)`
+	}
+}

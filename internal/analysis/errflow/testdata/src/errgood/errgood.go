@@ -1,0 +1,83 @@
+// Package errgood holds only conforming durability error handling:
+// every error from a seed or source reaches a return, a read, or a
+// reasoned //ocsml:errsink.
+package errgood
+
+import "os"
+
+var renameFailures int
+
+func propagate(a, b string) error {
+	return os.Rename(a, b)
+}
+
+func counted(a, b string) {
+	if err := os.Rename(a, b); err != nil {
+		renameFailures++
+	}
+}
+
+func annotated(tmp string) {
+	//ocsml:errsink best-effort temp cleanup; the caller reports the original error
+	os.Remove(tmp)
+}
+
+func checkedLater(f *os.File) error {
+	err := f.Sync()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func closureRead(a, b string) func() error {
+	err := os.Rename(a, b)
+	return func() error { return err }
+}
+
+func allPaths(a, b string, keep bool) error {
+	err := os.Rename(a, b)
+	if keep {
+		return err
+	}
+	return err
+}
+
+func namedResult(a, b string) (err error) {
+	err = os.Rename(a, b)
+	return
+}
+
+func commit(a, b string) error {
+	if err := os.Rename(a, b); err != nil {
+		return err
+	}
+	return nil
+}
+
+func throughHelper(a, b string) error {
+	return commit(a, b)
+}
+
+func loops(paths []string) error {
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func switched(a, b string) error {
+	err := os.Rename(a, b)
+	switch {
+	case err != nil:
+		return err
+	default:
+		return nil
+	}
+}
+
+func passedAlong(a, b string, report func(error)) {
+	report(os.Rename(a, b))
+}

@@ -116,7 +116,7 @@ type scopeInfo struct {
 // field object -> name of the mutex field guarding it.
 func collectGuarded(pass *vetkit.Pass) map[types.Object]string {
 	out := map[types.Object]string{}
-	for _, pkg := range pass.Program {
+	for _, pkg := range pass.Program.Packages {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				st, ok := n.(*ast.StructType)

@@ -1,0 +1,16 @@
+package piggybackcomplete_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/piggybackcomplete"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", piggybackcomplete.Analyzer, "pb/bad")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", piggybackcomplete.Analyzer, "pb/good")
+}

@@ -1,0 +1,60 @@
+// Package bad exercises every piggybackcomplete finding class.
+package bad
+
+import (
+	"pb/internal/checkpoint"
+	"pb/internal/protocol"
+)
+
+// NoAttach never attaches a payload and does not declare nopiggyback.
+type NoAttach struct{ chk *checkpoint.ProcStore }
+
+func (p *NoAttach) OnAppSend(e *protocol.Envelope) {} // want `OnAppSend of NoAttach does not attach the piggyback payload on every path`
+
+func (p *NoAttach) OnDeliver(e *protocol.Envelope) { _ = e.Payload }
+
+// SomePath attaches on only one branch.
+type SomePath struct{ flag bool }
+
+func (p *SomePath) OnAppSend(e *protocol.Envelope) { // want `OnAppSend of SomePath does not attach the piggyback payload on every path`
+	if p.flag {
+		e.Payload = 1
+	}
+}
+
+func (p *SomePath) OnDeliver(e *protocol.Envelope) { _ = e.Payload }
+
+// MutateFirst adds a checkpoint before reading the payload.
+type MutateFirst struct{ chk *checkpoint.ProcStore }
+
+func (p *MutateFirst) OnAppSend(e *protocol.Envelope) { e.Payload = 1 }
+
+func (p *MutateFirst) OnDeliver(e *protocol.Envelope) {
+	p.chk.Add(checkpoint.Record{}) // want `call to Add in OnDeliver mutates checkpoint state before the piggyback payload`
+	_ = e.Payload
+}
+
+// ViaHelper mutates through a helper, found interprocedurally.
+type ViaHelper struct{ chk *checkpoint.ProcStore }
+
+func (p *ViaHelper) OnAppSend(e *protocol.Envelope) { e.Payload = 1 }
+
+func (p *ViaHelper) OnDeliver(e *protocol.Envelope) {
+	p.take() // want `call to take in OnDeliver mutates checkpoint state before the piggyback payload`
+	_ = e.Payload
+}
+
+func (p *ViaHelper) take() { p.chk.Add(checkpoint.Record{}) }
+
+// HelperMutates hands the envelope to a helper that itself mutates
+// before consuming: the helper inherits the obligation.
+type HelperMutates struct{ chk *checkpoint.ProcStore }
+
+func (p *HelperMutates) OnAppSend(e *protocol.Envelope) { e.Payload = 1 }
+
+func (p *HelperMutates) OnDeliver(e *protocol.Envelope) { p.handle(e) }
+
+func (p *HelperMutates) handle(e *protocol.Envelope) {
+	p.chk.Add(checkpoint.Record{}) // want `call to Add in handle mutates checkpoint state before the piggyback payload`
+	_ = e.Payload
+}

@@ -1,0 +1,108 @@
+// Package good holds only conforming protocol implementations.
+package good
+
+import (
+	"pb/internal/checkpoint"
+	"pb/internal/protocol"
+)
+
+type pig struct{ csn int }
+
+// Full attaches on every path and consumes before mutating.
+type Full struct {
+	chk *checkpoint.ProcStore
+	csn int
+}
+
+func (p *Full) OnAppSend(e *protocol.Envelope) { e.Payload = pig{csn: p.csn} }
+
+func (p *Full) OnDeliver(e *protocol.Envelope) {
+	pb := e.Payload.(pig)
+	if pb.csn > p.csn {
+		p.chk.Add(checkpoint.Record{Seq: pb.csn})
+	}
+}
+
+// Wrapper delegates both methods to an inner protocol, like the
+// reliable transport.
+type Wrapper struct{ inner protocol.Protocol }
+
+func (w *Wrapper) OnAppSend(e *protocol.Envelope) { w.inner.OnAppSend(e) }
+
+func (w *Wrapper) OnDeliver(e *protocol.Envelope) { w.inner.OnDeliver(e) }
+
+// Baseline carries no piggyback by design and says so.
+//
+//ocsml:nopiggyback index-free baseline; consistency comes from markers, not indices
+type Baseline struct{ chk *checkpoint.ProcStore }
+
+func (b *Baseline) OnAppSend(e *protocol.Envelope) {}
+
+func (b *Baseline) OnDeliver(e *protocol.Envelope) {
+	b.chk.Add(checkpoint.Record{})
+}
+
+// HelperConsumes hands the envelope to a helper that consumes first.
+type HelperConsumes struct{ chk *checkpoint.ProcStore }
+
+func (p *HelperConsumes) OnAppSend(e *protocol.Envelope) { e.Payload = pig{} }
+
+func (p *HelperConsumes) OnDeliver(e *protocol.Envelope) { p.handle(e) }
+
+func (p *HelperConsumes) handle(e *protocol.Envelope) {
+	pb := e.Payload.(pig)
+	p.chk.Add(checkpoint.Record{Seq: pb.csn})
+}
+
+// AttachHelper attaches through a helper on every path.
+type AttachHelper struct{ csn int }
+
+func (p *AttachHelper) OnAppSend(e *protocol.Envelope) { p.stamp(e) }
+
+func (p *AttachHelper) OnDeliver(e *protocol.Envelope) { _ = e.Payload }
+
+func (p *AttachHelper) stamp(e *protocol.Envelope) { e.Payload = pig{csn: p.csn} }
+
+// PostHook consumes up front, then hands the envelope to a helper
+// that mutates: the obligation was discharged before the hand-off,
+// mirroring the real afterProcess hook.
+type PostHook struct{ chk *checkpoint.ProcStore }
+
+func (p *PostHook) OnAppSend(e *protocol.Envelope) { e.Payload = pig{} }
+
+func (p *PostHook) OnDeliver(e *protocol.Envelope) {
+	pb := e.Payload.(pig)
+	p.after(pb.csn, e)
+}
+
+func (p *PostHook) after(csn int, e *protocol.Envelope) {
+	p.chk.Add(checkpoint.Record{Seq: csn})
+	_ = e.Src
+}
+
+// Guarded panics on the impossible arm and mutates only after the
+// payload dispatch, mirroring the real receive rules.
+type Guarded struct {
+	chk *checkpoint.ProcStore
+	csn int
+}
+
+func (p *Guarded) OnAppSend(e *protocol.Envelope) {
+	if e.Kind != 0 {
+		panic("control envelope in OnAppSend")
+	}
+	e.Payload = pig{csn: p.csn}
+}
+
+func (p *Guarded) OnDeliver(e *protocol.Envelope) {
+	pb, ok := e.Payload.(pig)
+	if !ok {
+		panic("missing piggyback")
+	}
+	switch {
+	case pb.csn > p.csn:
+		p.chk.Add(checkpoint.Record{Seq: pb.csn})
+	default:
+		p.chk.MarkStable(pb.csn)
+	}
+}

@@ -1,0 +1,19 @@
+// Package checkpoint is a minimal mirror of the real checkpoint store:
+// the analyzer treats ProcStore's Add/MarkStable/TruncateAfter/GC as
+// checkpoint-state mutations.
+package checkpoint
+
+// Record is one checkpoint.
+type Record struct{ Seq int }
+
+// ProcStore holds one process's checkpoints.
+type ProcStore struct{ recs []Record }
+
+// Add appends a checkpoint record.
+func (ps *ProcStore) Add(r Record) { ps.recs = append(ps.recs, r) }
+
+// MarkStable marks a checkpoint durable.
+func (ps *ProcStore) MarkStable(seq int) {}
+
+// Len is a read, not a mutation.
+func (ps *ProcStore) Len() int { return len(ps.recs) }

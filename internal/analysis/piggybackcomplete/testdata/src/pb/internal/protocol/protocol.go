@@ -1,0 +1,17 @@
+// Package protocol is a minimal mirror of the real protocol package:
+// the analyzer locates Protocol and Envelope by name in the package
+// whose import path ends in internal/protocol.
+package protocol
+
+// Envelope is a message with a protocol piggyback slot.
+type Envelope struct {
+	Kind    int
+	Src     int
+	Payload any
+}
+
+// Protocol is the checkpointing algorithm interface.
+type Protocol interface {
+	OnAppSend(e *Envelope)
+	OnDeliver(e *Envelope)
+}

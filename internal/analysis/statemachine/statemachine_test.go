@@ -1,0 +1,16 @@
+package statemachine_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/statemachine"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", statemachine.Analyzer, "sm/bad")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", statemachine.Analyzer, "sm/good")
+}

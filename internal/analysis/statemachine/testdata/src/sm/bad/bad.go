@@ -1,0 +1,70 @@
+// Package bad exercises every statemachine finding class.
+package bad
+
+// Status is the checkpoint lifecycle state.
+//
+//ocsml:state stat Normal->Tentative
+//ocsml:state stat Tentative->Normal
+//ocsml:state stat *->Normal
+type Status int
+
+const (
+	// Normal means no checkpoint is in flight.
+	Normal Status = iota
+	// Tentative means an optimistic checkpoint awaits finalization.
+	Tentative
+)
+
+// Proc is a process with a lifecycle state.
+type Proc struct {
+	stat Status
+	n    int
+}
+
+// begin writes Tentative with no guard: the process may already be
+// Tentative, and Tentative->Tentative is not declared.
+func (p *Proc) begin() {
+	p.stat = Tentative // want `transition Tentative->Tentative of state field Status\.stat is not declared`
+}
+
+// fromVar assigns a value the analyzer cannot prove is a declared
+// constant.
+func (p *Proc) fromVar(s Status) {
+	p.stat = s // want `write to state field Status\.stat is not a named Status constant`
+}
+
+// wrongGuard narrows to the wrong state before the write.
+func (p *Proc) wrongGuard() {
+	if p.stat == Tentative {
+		p.stat = Tentative // want `transition Tentative->Tentative of state field Status\.stat is not declared`
+	}
+}
+
+// viaHelper loses its narrowing across a call that may write the
+// state field, interprocedurally.
+func (p *Proc) viaHelper() {
+	if p.stat != Normal {
+		return
+	}
+	p.reset()
+	p.stat = Tentative // want `transition Tentative->Tentative of state field Status\.stat is not declared`
+}
+
+func (p *Proc) reset() { p.stat = Normal }
+
+// inClosure writes inside a function literal, where nothing is known
+// about the current state.
+func (p *Proc) inClosure() func() {
+	return func() {
+		p.stat = Tentative // want `transition Tentative->Tentative of state field Status\.stat is not declared`
+	}
+}
+
+func use(p *Proc) {
+	p.begin()
+	p.fromVar(Normal)
+	p.wrongGuard()
+	p.viaHelper()
+	p.inClosure()()
+	_ = p.n
+}

@@ -1,0 +1,102 @@
+// Package good holds only legal lifecycle transitions.
+package good
+
+// Status is the checkpoint lifecycle state.
+//
+//ocsml:state stat Normal->Tentative
+//ocsml:state stat Tentative->Normal
+//ocsml:state stat *->Normal
+type Status int
+
+const (
+	// Normal means no checkpoint is in flight.
+	Normal Status = iota
+	// Tentative means an optimistic checkpoint awaits finalization.
+	Tentative
+)
+
+// Proc is a process with a lifecycle state.
+type Proc struct {
+	stat Status
+	n    int
+}
+
+// take mirrors the real takeTentative: a panic guard narrows the
+// state to Normal before the write.
+func (p *Proc) take() {
+	if p.stat != Normal {
+		panic("checkpoint already in flight")
+	}
+	p.stat = Tentative
+}
+
+// finalize mirrors the real finalize; Tentative->Normal is declared
+// (and *->Normal would cover it anyway).
+func (p *Proc) finalize() {
+	if p.stat != Tentative {
+		panic("no tentative checkpoint")
+	}
+	p.stat = Normal
+}
+
+// rollback re-enters Normal from anywhere: the wildcard edge.
+func (p *Proc) rollback() { p.stat = Normal }
+
+// guardedEq narrows through a positive equality guard.
+func (p *Proc) guardedEq() {
+	if p.stat == Normal {
+		p.stat = Tentative
+	}
+}
+
+// bySwitch narrows through the synthesized switch-case guards.
+func (p *Proc) bySwitch() {
+	switch p.stat {
+	case Normal:
+		p.stat = Tentative
+	case Tentative:
+		p.stat = Normal
+	}
+}
+
+// compound narrows through a conjunction.
+func (p *Proc) compound(ready bool) {
+	if ready && p.stat == Normal {
+		p.stat = Tentative
+	}
+}
+
+// sequenced keeps the narrowing across state-preserving calls and
+// through its own earlier write.
+func (p *Proc) sequenced() {
+	if p.stat != Normal {
+		return
+	}
+	p.count()
+	p.stat = Tentative
+	p.stat = Normal // Tentative->Normal after the write above
+}
+
+func (p *Proc) count() { p.n++ }
+
+// closureGuarded re-establishes the guard inside the literal, since a
+// closure may run under any state.
+func (p *Proc) closureGuarded() func() {
+	return func() {
+		if p.stat != Normal {
+			return
+		}
+		p.stat = Tentative
+	}
+}
+
+func use(p *Proc) {
+	p.take()
+	p.finalize()
+	p.rollback()
+	p.guardedEq()
+	p.bySwitch()
+	p.compound(true)
+	p.sequenced()
+	p.closureGuarded()()
+}

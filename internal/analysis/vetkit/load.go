@@ -3,6 +3,7 @@ package vetkit
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -12,6 +13,12 @@ import (
 	"sort"
 	"strings"
 )
+
+// buildCtx filters files exactly as a plain `go build` would: GOOS /
+// GOARCH conventions and //go:build constraints with no extra tags, so
+// files gated behind optional tags (e.g. the `soak` harness) are
+// excluded from analysis just as they are from the default build.
+var buildCtx = build.Default
 
 // A Loader parses and type-checks packages from source. It resolves
 // imports under Roots (import-path prefix -> directory) by recursive
@@ -149,6 +156,9 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if ok, err := buildCtx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name),
 			nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -239,7 +249,10 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := buildCtx.MatchFile(dir, name); err == nil && ok {
 			return true
 		}
 	}

@@ -1,0 +1,217 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// A Program is the whole-program view shared by every pass of one
+// analysis run: every package the loader resolved from source, plus the
+// interprocedural structures (callgraph) built lazily over them. The
+// per-package analyzers ignore it; the interprocedural ones (errflow,
+// piggybackcomplete, statemachine) key their cached summaries off the
+// Program pointer, so one ocsmlvet invocation builds each structure
+// exactly once no matter how many packages it checks.
+type Program struct {
+	// Packages maps import path to every source-loaded package.
+	Packages map[string]*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+}
+
+// NewProgram wraps a loader's package map.
+func NewProgram(pkgs map[string]*Package) *Program {
+	return &Program{Packages: pkgs}
+}
+
+// PackageBySuffix returns the source-loaded package whose import path
+// ends with the given slash-separated suffix, or nil. Analyzers use it
+// to locate well-known packages (internal/protocol, internal/checkpoint)
+// in both the real module and fixture trees.
+func (p *Program) PackageBySuffix(suffix string) *Package {
+	var best *Package
+	for path, pkg := range p.Packages {
+		if PathHasSuffix(path, suffix) {
+			// Prefer the shortest matching path so a fixture tree holding
+			// several roots resolves deterministically.
+			if best == nil || len(path) < len(best.PkgPath) {
+				best = pkg
+			}
+		}
+	}
+	return best
+}
+
+// CallGraph returns the static callgraph over every source-loaded
+// function, built on first use and cached for the Program's lifetime.
+func (p *Program) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
+}
+
+// A CallGraph records, for every function with source in the program,
+// its resolved static call sites. Dynamic dispatch (interface method
+// calls) is recorded per site but deliberately not edge-expanded:
+// protocols are single-threaded state machines whose effect interfaces
+// never call back into them, so the analyzers treat dynamic calls by
+// name rather than by conservative fan-out.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+}
+
+// A FuncNode is one function (or method) in the callgraph.
+type FuncNode struct {
+	// Obj is the function's type-checker object.
+	Obj *types.Func
+	// Decl is the function's source declaration; nil when the function
+	// was resolved through the stdlib importer (no source loaded).
+	Decl *ast.FuncDecl
+	// Pkg is the source package the declaration lives in (nil with Decl).
+	Pkg *Package
+	// Calls lists every call site inside Decl, in source order,
+	// including sites inside nested function literals (flagged InLit).
+	Calls []*CallSite
+	// CalledBy lists every static call site that resolves to this
+	// function.
+	CalledBy []*CallSite
+}
+
+// A CallSite is one call expression inside a function body.
+type CallSite struct {
+	// Caller is the enclosing declared function.
+	Caller *FuncNode
+	// Callee is the statically resolved target, nil for dynamic calls
+	// (interface methods, function values) and builtins.
+	Callee *FuncNode
+	// Iface is the interface method a dynamic call goes through, nil
+	// for static calls and non-interface dynamic calls.
+	Iface *types.Func
+	// Call is the call expression itself.
+	Call *ast.CallExpr
+	// InLit reports that the site sits inside a function literal nested
+	// in Caller: the call runs when the closure runs, not when Caller's
+	// body reaches it.
+	InLit bool
+}
+
+// Node returns the callgraph node for fn, or nil when fn has no source
+// in the program and no site calls it.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	return g.nodes[fn]
+}
+
+// Funcs returns every node with a source declaration, sorted by
+// declaration position (the loader shares one FileSet, so positions
+// order deterministically across packages).
+func (g *CallGraph) Funcs() []*FuncNode {
+	var out []*FuncNode
+	for _, n := range g.nodes {
+		if n.Decl != nil {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// buildCallGraph walks every declared function body in every package and
+// resolves its call sites.
+func buildCallGraph(p *Program) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*FuncNode{}}
+	node := func(fn *types.Func) *FuncNode {
+		n, ok := g.nodes[fn]
+		if !ok {
+			n = &FuncNode{Obj: fn}
+			g.nodes[fn] = n
+		}
+		return n
+	}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := node(obj)
+				n.Decl = fd
+				n.Pkg = pkg
+				collectCalls(pkg, n, fd.Body, false, node)
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls appends every call site under root to caller.Calls.
+func collectCalls(pkg *Package, caller *FuncNode, root ast.Node, inLit bool, node func(*types.Func) *FuncNode) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !inLit {
+				// Descend once with the flag set; returning false here
+				// stops this walk, so recurse explicitly.
+				collectCalls(pkg, caller, n.Body, true, node)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			site := &CallSite{Caller: caller, Call: n, InLit: inLit}
+			fn, dynamic := resolveCallee(pkg, n)
+			if fn != nil && !dynamic {
+				site.Callee = node(fn)
+				site.Callee.CalledBy = append(site.Callee.CalledBy, site)
+			} else if fn != nil {
+				site.Iface = fn
+			}
+			caller.Calls = append(caller.Calls, site)
+		}
+		return true
+	})
+}
+
+// resolveCallee maps a call expression to the *types.Func it invokes.
+// dynamic reports interface dispatch (the returned func is the interface
+// method, not an implementation).
+func resolveCallee(pkg *Package, call *ast.CallExpr) (fn *types.Func, dynamic bool) {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[f].(*types.Func); ok {
+			return obj, false
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			obj := sel.Obj().(*types.Func)
+			return obj, types.IsInterface(sel.Recv().Underlying())
+		}
+		// Qualified package function (os.Rename) resolves through Uses.
+		if obj, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			return obj, false
+		}
+	}
+	return nil, false
+}
+
+// ErrorResultIndex returns the position of the (single) error result in
+// fn's signature, or -1 when fn does not return an error.
+func ErrorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return i
+		}
+	}
+	return -1
+}

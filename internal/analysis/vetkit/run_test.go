@@ -1,0 +1,69 @@
+package vetkit_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"ocsml/internal/analysis/vetkit"
+)
+
+// Run must return diagnostics in deterministic (position, analyzer,
+// message) order with exact duplicates removed, regardless of the order
+// analyzers emit them.
+func TestRunOrdersAndDedupes(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"p/p.go": "package p\n\n// A is exported.\nfunc A() {}\n\n// B is exported.\nfunc B() {}\n",
+	})
+	l := vetkit.NewLoader(map[string]string{"m": dir})
+	pkg, err := l.LoadPackage("m/p")
+	if err != nil {
+		t.Fatalf("LoadPackage: %v", err)
+	}
+
+	reportDecls := func(pass *vetkit.Pass, backward bool) {
+		var decls []*ast.FuncDecl
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					decls = append(decls, fd)
+				}
+			}
+		}
+		if backward {
+			for i := len(decls) - 1; i >= 0; i-- {
+				pass.Reportf(decls[i].Pos(), "func %s", decls[i].Name.Name)
+			}
+			return
+		}
+		for _, fd := range decls {
+			pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+		}
+	}
+	zig := &vetkit.Analyzer{Name: "zig", Doc: "reports decls backward", Run: func(pass *vetkit.Pass) error {
+		reportDecls(pass, true)
+		reportDecls(pass, true) // duplicates must collapse
+		return nil
+	}}
+	alpha := &vetkit.Analyzer{Name: "alpha", Doc: "reports decls forward", Run: func(pass *vetkit.Pass) error {
+		reportDecls(pass, false)
+		return nil
+	}}
+
+	diags, err := vetkit.Run([]*vetkit.Analyzer{zig, alpha}, []*vetkit.Package{pkg}, vetkit.NewProgram(l.Packages))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+":"+d.Message)
+	}
+	want := []string{"alpha:func A", "zig:func A", "alpha:func B", "zig:func B"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diag %d = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}

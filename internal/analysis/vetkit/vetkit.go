@@ -19,7 +19,7 @@
 // placed on the flagged line, on the line directly above it, or in the
 // doc comment of the declaration. See the individual analyzers for the
 // directives they honor (wallclock, unordered, guardedby, locked,
-// nolock, nofsync, wirepayload).
+// nolock, nofsync, wirepayload, errsink, nopiggyback, state).
 package vetkit
 
 import (
@@ -51,10 +51,11 @@ type Pass struct {
 	// Dir is the directory the package was loaded from.
 	Dir string
 
-	// Program exposes every package the loader resolved from source,
-	// keyed by import path — analyzers that need whole-program context
-	// (wireexhaustive's payload registry) read it; most ignore it.
-	Program map[string]*Package
+	// Program exposes the whole-program view: every package the loader
+	// resolved from source plus the lazily built callgraph. Analyzers
+	// that need cross-package context (wireexhaustive's payload registry,
+	// the interprocedural analyzers' summaries) read it; most ignore it.
+	Program *Program
 
 	report func(Diagnostic)
 }
@@ -82,8 +83,12 @@ type Package struct {
 }
 
 // Run applies every analyzer to every package and returns the combined
-// diagnostics sorted by position.
-func Run(analyzers []*Analyzer, pkgs []*Package, program map[string]*Package) ([]Diagnostic, error) {
+// diagnostics in deterministic order — sorted by (position, analyzer,
+// message), with exact duplicates removed. Two analyzers flagging the
+// same position therefore always print in the same order, and one
+// finding reported through two packages (interprocedural analyzers see
+// the whole program from every pass) prints once.
+func Run(analyzers []*Analyzer, pkgs []*Package, program *Program) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -109,9 +114,25 @@ func Run(analyzers []*Analyzer, pkgs []*Package, program map[string]*Package) ([
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
 		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+	return dedupe(diags), nil
+}
+
+// dedupe drops diagnostics identical to their predecessor in a sorted
+// slice.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // ---- directives ----

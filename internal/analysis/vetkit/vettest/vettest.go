@@ -40,7 +40,7 @@ func Run(t *testing.T, testdata string, a *vetkit.Analyzer, importPaths ...strin
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := vetkit.Run([]*vetkit.Analyzer{a}, pkgs, loader.Packages)
+	diags, err := vetkit.Run([]*vetkit.Analyzer{a}, pkgs, vetkit.NewProgram(loader.Packages))
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -149,7 +149,7 @@ func RunClean(t *testing.T, testdata string, a *vetkit.Analyzer, importPaths ...
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := vetkit.Run([]*vetkit.Analyzer{a}, pkgs, loader.Packages)
+	diags, err := vetkit.Run([]*vetkit.Analyzer{a}, pkgs, vetkit.NewProgram(loader.Packages))
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

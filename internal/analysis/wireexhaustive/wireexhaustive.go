@@ -123,7 +123,7 @@ func run(pass *vetkit.Pass) error {
 // declaration carries //ocsml:wirepayload.
 func collectPayloads(pass *vetkit.Pass) map[*types.TypeName]bool {
 	out := map[*types.TypeName]bool{}
-	for _, pkg := range pass.Program {
+	for _, pkg := range pass.Program.Packages {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				gd, ok := decl.(*ast.GenDecl)
@@ -159,7 +159,7 @@ func checkTags(pass *vetkit.Pass) {
 	}
 	byValue := map[string][]*types.Const{}
 	var all []*types.Const
-	for _, pkg := range pass.Program {
+	for _, pkg := range pass.Program.Packages {
 		scope := pkg.Types.Scope()
 		for _, name := range scope.Names() {
 			c, ok := scope.Lookup(name).(*types.Const)
@@ -218,7 +218,7 @@ func sortedKeys(m map[*types.TypeName]bool) []*types.TypeName {
 // PayloadNames returns the qualified names ("core.Piggyback", ...) of
 // every //ocsml:wirepayload type in the loaded program, sorted — the
 // registry as seen by tools that need it outside an analysis pass.
-func PayloadNames(program map[string]*vetkit.Package) []string {
+func PayloadNames(program *vetkit.Program) []string {
 	pass := &vetkit.Pass{Program: program}
 	var names []string
 	for obj := range collectPayloads(pass) {

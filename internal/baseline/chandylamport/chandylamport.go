@@ -53,6 +53,8 @@ type marker struct {
 }
 
 // Protocol is one process's Chandy–Lamport state machine.
+//
+//ocsml:nopiggyback marker-based coordination: consistency comes from FIFO channel markers, not per-message indices
 type Protocol struct {
 	env protocol.Env
 	opt Options

@@ -59,6 +59,8 @@ type ctl struct {
 }
 
 // Protocol is one process's Koo–Toueg state machine.
+//
+//ocsml:nopiggyback two-phase coordination over control messages only; app messages carry no index
 type Protocol struct {
 	env protocol.Env
 	opt Options

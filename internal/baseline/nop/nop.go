@@ -7,6 +7,8 @@ package nop
 import "ocsml/internal/protocol"
 
 // Protocol is the null protocol.
+//
+//ocsml:nopiggyback null baseline: no checkpointing, nothing to piggyback
 type Protocol struct {
 	env protocol.Env
 }

@@ -34,7 +34,14 @@ import (
 	"ocsml/internal/trace"
 )
 
-// Status is the paper's process status.
+// Status is the paper's process status. The lifecycle is enforced by
+// the statemachine analyzer: only the declared transitions below may be
+// written to the `stat` field, and every write site must prove (via
+// guards) which states it can be entered from.
+//
+//ocsml:state stat Normal->Tentative
+//ocsml:state stat Tentative->Normal
+//ocsml:state stat *->Normal
 type Status uint8
 
 const (

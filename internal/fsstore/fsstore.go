@@ -218,19 +218,23 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
+		//ocsml:errsink best-effort temp cleanup; the primary write error is returned
 		os.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
+		//ocsml:errsink best-effort temp cleanup; the primary write error is returned
 		os.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		//ocsml:errsink best-effort temp cleanup; the primary write error is returned
 		os.Remove(tmpName)
 		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
+		//ocsml:errsink best-effort temp cleanup; the primary write error is returned
 		os.Remove(tmpName)
 		return err
 	}
@@ -407,7 +411,9 @@ func (s *Store) TruncateAfter(seq int) error {
 		return err
 	}
 	for _, q := range drop {
+		//ocsml:errsink manifest no longer references these seqs; removal is opportunistic GC
 		os.Remove(s.ckptPath(q))
+		//ocsml:errsink manifest no longer references these seqs; removal is opportunistic GC
 		os.Remove(s.logPath(q))
 	}
 	return s.syncDir()

@@ -390,7 +390,13 @@ func (n *Node) Send(e *protocol.Envelope) {
 		panic(fmt.Sprintf("transport: P%d cannot encode envelope: %v", n.cfg.ID, err))
 	}
 	if e.Kind == protocol.KindApp {
-		p, _ := wire.PayloadSize(e)
+		p, err := wire.PayloadSize(e)
+		if err != nil {
+			// Encode above succeeded, so the payload is encodable; a
+			// sizing failure is an anomaly worth surfacing, not a
+			// silently-zero metric.
+			n.cfg.Count("wire.size_errors", 1)
+		}
 		n.cfg.Count("wire.piggyback_bytes", int64(p))
 		n.cfg.Count("wire.app_frames", 1)
 	}

@@ -24,7 +24,7 @@ func TestPayloadRegistryComplete(t *testing.T) {
 	if _, err := loader.LoadPackage(modPath + "/internal/wire"); err != nil {
 		t.Fatal(err)
 	}
-	registry := wireexhaustive.PayloadNames(loader.Packages)
+	registry := wireexhaustive.PayloadNames(vetkit.NewProgram(loader.Packages))
 	if len(registry) == 0 {
 		t.Fatal("no //ocsml:wirepayload types found in the program")
 	}
