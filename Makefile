@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos soak fuzz
+.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos ctl soak fuzz
 
 all: build test
 
@@ -52,6 +52,12 @@ chaos:
 	@for seed in 1 2 3 4 5; do \
 		/tmp/ocsmld -chaos -seed $$seed -chaos-for 1200ms || exit 1; \
 	done
+
+# ctl is the control-plane smoke: three real ocsmld daemons with
+# -admin-addr, driven by the real ocsmlctl binary (trigger a round,
+# poll it durable, scrape /metrics), then SIGTERM'd to exit 0.
+ctl:
+	$(GO) test -run TestDaemonControlPlane -v ./cmd/ocsmld/
 
 # soak mirrors .github/workflows/soak.yml; tune with SOAK_SEED_BASE,
 # SOAK_SEEDS, SOAK_FAULT_MS, SOAK_ARTIFACT_DIR.

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"testing"
+
+	"ocsml/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine survives the tests: the
+// CLI's HTTP client and the in-process cluster + admin server its tests
+// stand up must all tear down cleanly.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

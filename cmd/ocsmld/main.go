@@ -31,14 +31,15 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
+	"ocsml/internal/admin"
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/core"
 	"ocsml/internal/des"
 	"ocsml/internal/fsstore"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/reliable"
 	"ocsml/internal/trace"
@@ -79,6 +80,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		chaos     = flag.Bool("chaos", false, "run one seeded fault-injection round (drops, delays, partitions, kill+restart) and verify the consistency invariants")
 		chaosFor  = flag.Duration("chaos-for", 1500*time.Millisecond, "fault-phase length for -chaos")
+		adminAddr = flag.String("admin-addr", "", "listen address for the admin control plane (status/manifest/recovery/checkpoint/metrics; see cmd/ocsmlctl)")
 	)
 	flag.Parse()
 
@@ -99,10 +101,10 @@ func main() {
 		return
 	}
 	if *spawnAll {
-		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
+		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut, *adminAddr)
 		return
 	}
-	runDaemon(*id, *peers, *datadir, *resume, *recoverF, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut)
+	runDaemon(*id, *peers, *datadir, *resume, *recoverF, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut, *adminAddr)
 }
 
 // runChaos is -chaos: one seeded fault-injection round against a live
@@ -144,7 +146,7 @@ func runChaos(n int, seed int64, datadir string, faultFor time.Duration, jsonOut
 // runCluster is -spawn-all: the whole cluster in one OS process, nodes
 // talking over real localhost TCP.
 func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload.Config,
-	bw int64, rel bool, runFor, drain time.Duration, jsonOut bool) {
+	bw int64, rel bool, runFor, drain time.Duration, jsonOut bool, adminAddr string) {
 	c, err := transport.NewCluster(transport.ClusterConfig{
 		N: n, Seed: seed, Datadir: datadir, Opt: opt, Reliable: rel,
 		Workload: wl, WriteBandwidth: bw, Timeout: runFor, Drain: drain,
@@ -152,7 +154,21 @@ func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := c.Run(); err != nil {
+	// The admin server drains before the mesh closes (RunThen's
+	// pre-stop hook), so an in-flight status read never races a dying
+	// node.
+	var beforeStop func()
+	if adminAddr != "" {
+		srv := admin.NewServer(admin.Config{
+			Nodes: c.Nodes, Registry: c.Metrics, Datadir: datadir, N: n,
+		})
+		if err := srv.Start(adminAddr); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ocsmld: admin control plane on %s\n", srv.Addr())
+		beforeStop = func() { srv.Close() }
+	}
+	if err := c.RunThen(beforeStop); err != nil {
 		fatalf("%v", err)
 	}
 	rep, err := c.Report()
@@ -200,7 +216,7 @@ func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload
 // runDaemon hosts one process of a cluster whose other members are
 // separate ocsmld invocations (possibly on other machines).
 func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, seed int64, opt core.Options,
-	wl workload.Config, bw int64, rel bool, runFor, drain time.Duration, jsonOut bool) {
+	wl workload.Config, bw int64, rel bool, runFor, drain time.Duration, jsonOut bool, adminAddr string) {
 	if peerList == "" {
 		fatalf("daemon mode needs -peers (or use -spawn-all)")
 	}
@@ -212,19 +228,23 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 	if n < 2 {
 		fatalf("need at least 2 peers")
 	}
+	// Local (per-daemon) recorder, checkpoint store and metric registry:
+	// in daemon mode every process observes only itself. The free-form
+	// counter namespace lands in the registry's events family, which the
+	// admin server's /metrics and the exit report both read.
+	rec := trace.NewRecorder()
+	ckpts := checkpoint.NewStore(n)
+	reg := metrics.NewRegistry()
+	count := reg.EventSink()
+
 	var fs *fsstore.Store
 	var err error
 	if datadir != "" {
 		if fs, err = fsstore.Open(datadir, id, n); err != nil {
 			fatalf("%v", err)
 		}
+		fs.SetMetrics(fsstore.NewStoreMetrics(reg, id))
 	}
-
-	// Local (per-daemon) recorder, checkpoint store and counters: in
-	// daemon mode every process observes only itself.
-	rec := trace.NewRecorder()
-	ckpts := checkpoint.NewStore(n)
-	counters := newCounterTable()
 
 	epoch := 0
 	if recoverFlag {
@@ -242,7 +262,7 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 		}
 		dec, err := transport.Coordinate(transport.CoordinatorConfig{
 			ID: id, Addrs: addrs, Seed: seed,
-			Seqs: fs.Manifest().Seqs, Count: counters.add,
+			Seqs: fs.Manifest().Seqs, Count: count,
 		}, ln) // closes ln, so the node below can rebind
 		if err != nil {
 			fatalf("recovery coordination: %v", err)
@@ -299,7 +319,7 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 		ID: id, N: n, Addrs: addrs, Listener: ln,
 		Seed: seed, Epoch: epoch, Resume: resume, ResumeRec: resumeRec,
 		Proto: pr, App: workload.Factory(wl)(id, n),
-		Rec: rec, Ckpts: ckpts, Count: counters.add,
+		Rec: rec, Ckpts: ckpts, Count: count, Metrics: reg,
 		FS: fs, WriteBandwidth: bw,
 		OnDone: func(int) {
 			select {
@@ -313,6 +333,20 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 	}
 	node.Start()
 	fmt.Fprintf(os.Stderr, "ocsmld: P%d listening on %s (n=%d, resume=%d)\n", id, addrs[id], n, resume)
+
+	// The control plane comes up after the node so /v1/readyz never
+	// answers 200 for a process whose mesh is not yet serving.
+	var srv *admin.Server
+	if adminAddr != "" {
+		srv = admin.NewServer(admin.Config{
+			Nodes:    func() []*transport.Node { return []*transport.Node{node} },
+			Registry: reg, Datadir: datadir, N: n,
+		})
+		if err := srv.Start(adminAddr); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ocsmld: P%d admin control plane on %s\n", id, srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -328,6 +362,17 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 		}
 	case <-sig:
 	case <-time.After(runFor):
+	}
+	// Graceful stop, in dependency order: stop admitting control-plane
+	// requests, let queued stable-storage writes reach the disk, then
+	// close the mesh. A SIGTERM therefore never abandons an in-flight
+	// finalization the manifest was about to record.
+	if srv != nil {
+		//ocsml:errsink shutdown path; a failed drain still force-closes the listener
+		srv.Close()
+	}
+	if !node.WaitStorageIdle(2 * time.Second) {
+		fmt.Fprintf(os.Stderr, "ocsmld: P%d storage queue did not drain; closing anyway\n", id)
 	}
 	node.Close()
 
@@ -346,7 +391,7 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 		Mesh:           node.Mesh().Stats(),
 		StaleDropped:   node.StaleDropped(),
 		DecodeErrors:   node.DecodeErrors(),
-		Counters:       counters.snapshot(),
+		Counters:       reg.EventCounts(),
 		DurableLastSeq: -1,
 	}
 	for _, r := range ckpts.Proc(id).All() {
@@ -381,30 +426,6 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 	for _, name := range names {
 		fmt.Printf("  %-24s %d\n", name, dr.Counters[name])
 	}
-}
-
-type counterTable struct {
-	mu sync.Mutex
-	//ocsml:guardedby mu
-	m map[string]int64
-}
-
-func newCounterTable() *counterTable { return &counterTable{m: map[string]int64{}} }
-
-func (c *counterTable) add(name string, delta int64) {
-	c.mu.Lock()
-	c.m[name] += delta
-	c.mu.Unlock()
-}
-
-func (c *counterTable) snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
-	return out
 }
 
 func fatalf(format string, args ...any) {

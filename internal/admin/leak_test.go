@@ -1,0 +1,12 @@
+package admin
+
+import (
+	"testing"
+
+	"ocsml/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine survives the tests: the
+// admin server's Close must reap its Serve goroutine and every handler,
+// and the clusters the tests stand up must tear down cleanly.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -11,6 +11,7 @@ import (
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/trace"
 )
@@ -86,6 +87,7 @@ func (f *fakeEnv) DeliverApp(e *protocol.Envelope, pre, then func()) {
 func (f *fakeEnv) Checkpoints() *checkpoint.ProcStore { return f.store }
 func (f *fakeEnv) Note(kind trace.Kind, seq int)      {}
 func (f *fakeEnv) Count(name string, d int64)         { f.counters[name] += d }
+func (f *fakeEnv) Metrics() *metrics.Registry         { return nil }
 func (f *fakeEnv) Draining() bool                     { return false }
 
 // mount builds a protocol on a fake env, started and optionally tentative

@@ -27,9 +27,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/trace"
 )
@@ -195,6 +197,13 @@ type Protocol struct {
 	// (idle-server) moment; each entry issues the write when executed.
 	pendingFlush []deferredFlush
 	flushPolling bool
+
+	// First-class registry series (set at Start from env.Metrics); the
+	// free-form Count namespace keeps the same statistics for the
+	// harness, these serve the admin /metrics catalog.
+	mTent   *metrics.Counter
+	mFinal  *metrics.Counter
+	mLogged *metrics.Counter
 }
 
 // deferredFlush is a finalization write waiting for an idle server.
@@ -233,12 +242,30 @@ func (p *Protocol) Status() Status { return p.stat }
 // LogLen exposes the current in-memory log length (tests).
 func (p *Protocol) LogLen() int { return len(p.logSet) }
 
+// TentProcs exposes the members of the current tentative set (the admin
+// API's status snapshot). Empty while status is normal or before Start.
+func (p *Protocol) TentProcs() []int {
+	if p.tentSet.Universe() == 0 {
+		return nil
+	}
+	return p.tentSet.Members()
+}
+
 // Start implements protocol.Protocol: record the initial checkpoint
 // (sequence 0, assumed already on stable storage) and arm the periodic
 // basic-checkpoint timer with a small per-process phase jitter.
 func (p *Protocol) Start(env protocol.Env) {
 	p.env = env
 	p.tentSet = protocol.NewProcSet(env.N())
+	if reg := env.Metrics(); reg != nil {
+		proc := strconv.Itoa(env.ID())
+		p.mTent = reg.MustCounterVec("ocsml_ckpt_tentative_total",
+			"Tentative checkpoints taken (phase one).", "proc").With(proc)
+		p.mFinal = reg.MustCounterVec("ocsml_ckpt_finalized_total",
+			"Checkpoints finalized to stable storage (phase two, CFE).", "proc").With(proc)
+		p.mLogged = reg.MustCounterVec("ocsml_ckpt_logged_msgs_total",
+			"Application messages added to the selective message log.", "proc").With(proc)
+	}
 	if p.resumeSeq >= 0 {
 		// Restart after a crash: the store was restored from stable
 		// storage up to resumeSeq; continue from there.
@@ -413,6 +440,9 @@ func (p *Protocol) takeTentative() {
 	}}
 	p.env.Note(trace.KTentative, p.csn)
 	p.env.Count("tentative", 1)
+	if p.mTent != nil {
+		p.mTent.Inc()
+	}
 
 	if p.opt.Timeout > 0 {
 		p.armConvTimer()
@@ -474,6 +504,9 @@ func (p *Protocol) logMsg(e *protocol.Envelope, dir checkpoint.Direction) {
 		SentAt: sentAt, LoggedAt: p.env.Now(),
 		Bytes: e.App.Bytes, Tag: e.App.Tag, AppSeq: e.App.Seq,
 	})
+	if p.mLogged != nil {
+		p.mLogged.Inc()
+	}
 }
 
 // finalize performs the paper's "Flush logSet_i and CT_{i,csn_i} to the
@@ -506,6 +539,9 @@ func (p *Protocol) finalize() {
 
 	p.env.Note(trace.KFinalize, seq)
 	p.env.Count("finalized", 1)
+	if p.mFinal != nil {
+		p.mFinal.Inc()
+	}
 
 	var logBytes int64
 	for i := range rec.Log {

@@ -6,6 +6,7 @@ import (
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/storage"
 	"ocsml/internal/trace"
@@ -253,6 +254,9 @@ func (n *Node) Note(kind trace.Kind, seq int) {
 
 // Count implements protocol.Env.
 func (n *Node) Count(name string, delta int64) { n.c.count(name, delta) }
+
+// Metrics implements protocol.Env.
+func (n *Node) Metrics() *metrics.Registry { return n.c.Metrics }
 
 // Draining implements protocol.Env.
 func (n *Node) Draining() bool { return n.c.draining }

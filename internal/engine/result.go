@@ -40,8 +40,12 @@ type Result struct {
 	StalledSeconds *metrics.Summary
 
 	// Counters are the protocol's free-form named statistics
-	// ("ctl.CK_BGN", "forced", ...), plus engine-added entries.
+	// ("ctl.CK_BGN", "forced", ...), plus engine-added entries — a
+	// snapshot of the registry's events family.
 	Counters map[string]int64
+	// Metrics is the run's named-metric registry (the same catalog a
+	// live cluster serves at /metrics).
+	Metrics *metrics.Registry
 
 	Ckpts *checkpoint.Store
 	Trace *trace.Recorder
@@ -68,9 +72,10 @@ func (c *Cluster) result() *Result {
 		CtlMsgs:        c.Net.CtlCount.Value(),
 		WireBytes:      c.Net.ByteCount.Value(),
 		PiggybackBytes: c.piggyBytes.Value(),
-		AppLatency:     &c.appLatency,
-		StalledSeconds: &c.stalledSeconds,
-		Counters:       c.counters,
+		AppLatency:     c.appLatency,
+		StalledSeconds: c.stalledSeconds,
+		Counters:       c.Metrics.EventCounts(),
+		Metrics:        c.Metrics,
 		Ckpts:          c.Ckpts,
 		Trace:          c.Rec,
 		Storage:        c.Store,

@@ -27,15 +27,31 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
+	"ocsml/internal/metrics"
 )
+
+// countingWriter counts the bytes written through it (log-size
+// accounting for StoreMetrics).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
 
 // Manifest records what a process has durably finalized.
 type Manifest struct {
@@ -70,6 +86,50 @@ type Store struct {
 	// anything — the error-injection hook of the durability tests.
 	//ocsml:guardedby mu
 	finalizeErr func(checkpoint.Record) error
+	// metrics, when set, receives this store's durability instruments.
+	//ocsml:guardedby mu
+	metrics *StoreMetrics
+}
+
+// StoreMetrics are one store's registry-backed durability instruments.
+type StoreMetrics struct {
+	Finalizes      *metrics.Counter
+	FinalizeErrors *metrics.Counter
+	Fsyncs         *metrics.Counter
+	BytesWritten   *metrics.Counter
+}
+
+// NewStoreMetrics registers the fsstore instrument families in reg and
+// returns the series for one process.
+func NewStoreMetrics(reg *metrics.Registry, proc int) *StoreMetrics {
+	p := strconv.Itoa(proc)
+	return &StoreMetrics{
+		Finalizes: reg.MustCounterVec("ocsml_fsstore_finalized_total",
+			"Checkpoints durably finalized (log + state + manifest committed).", "proc").With(p),
+		FinalizeErrors: reg.MustCounterVec("ocsml_fsstore_finalize_errors_total",
+			"Finalize attempts that failed before the manifest commit.", "proc").With(p),
+		Fsyncs: reg.MustCounterVec("ocsml_fsstore_fsyncs_total",
+			"File and directory fsyncs issued by the durability protocol.", "proc").With(p),
+		BytesWritten: reg.MustCounterVec("ocsml_fsstore_bytes_written_total",
+			"Bytes handed to stable storage (logs, checkpoint states, manifests).", "proc").With(p),
+	}
+}
+
+// SetMetrics installs (or, with nil, removes) the store's instruments.
+// Call right after Open, before the store sees traffic.
+func (s *Store) SetMetrics(m *StoreMetrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
+}
+
+// noteWriteLocked accounts one completed durable write. Caller holds mu
+// (or the store has not escaped its constructor).
+func (s *Store) noteWriteLocked(bytes, fsyncs int64) {
+	if m := s.metrics; m != nil {
+		m.Fsyncs.Add(fsyncs)
+		m.BytesWritten.Add(bytes)
+	}
 }
 
 // SetFinalizeErrHook installs (or, with nil, removes) a hook consulted at
@@ -238,7 +298,13 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
-	return s.syncDir()
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	// temp-file fsync + directory fsync
+	//ocsml:nolock every caller holds mu except the Open-time manifest rebuild, before the store escapes
+	s.noteWriteLocked(int64(len(data)), 2)
+	return nil
 }
 
 func (s *Store) syncDir() error {
@@ -282,6 +348,18 @@ func (s *Store) SaveTentative(t checkpoint.Tentative) error {
 func (s *Store) Finalize(rec checkpoint.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	err := s.finalizeLocked(rec)
+	if m := s.metrics; m != nil {
+		if err != nil {
+			m.FinalizeErrors.Inc()
+		} else {
+			m.Finalizes.Inc()
+		}
+	}
+	return err
+}
+
+func (s *Store) finalizeLocked(rec checkpoint.Record) error {
 	if rec.Proc != s.proc {
 		return fmt.Errorf("fsstore: record for P%d written to store of P%d", rec.Proc, s.proc)
 	}
@@ -299,7 +377,8 @@ func (s *Store) Finalize(rec checkpoint.Record) error {
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(lf)
+	cw := &countingWriter{w: lf}
+	enc := json.NewEncoder(cw)
 	for i := range rec.Log {
 		if err := enc.Encode(&rec.Log[i]); err != nil {
 			lf.Close()
@@ -313,6 +392,7 @@ func (s *Store) Finalize(rec checkpoint.Record) error {
 	if err := lf.Close(); err != nil {
 		return err
 	}
+	s.noteWriteLocked(cw.n, 1)
 
 	// 2. Checkpoint state, atomically.
 	st := ckptState{

@@ -21,6 +21,7 @@ import (
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
 	"ocsml/internal/engine"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/trace"
 )
@@ -72,11 +73,10 @@ type Cluster struct {
 	quit    chan struct{}
 	wg      sync.WaitGroup
 
-	storageCh  chan storeReq
-	storageQ   atomic.Int32
-	countersMu sync.Mutex
-	//ocsml:guardedby countersMu
-	counters map[string]int64
+	storageCh chan storeReq
+	storageQ  atomic.Int32
+	reg       *metrics.Registry
+	count     func(name string, delta int64)
 
 	draining atomic.Bool
 }
@@ -102,8 +102,9 @@ func New(cfg Config, pf engine.ProtoFactory, af engine.AppFactory) *Cluster {
 		allDone:   make(chan struct{}),
 		quit:      make(chan struct{}),
 		storageCh: make(chan storeReq, 1024),
-		counters:  map[string]int64{},
+		reg:       metrics.NewRegistry(),
 	}
+	c.count = c.reg.EventSink()
 	for i := 0; i < cfg.N; i++ {
 		n := &node{
 			c: c, id: i,
@@ -150,17 +151,11 @@ func (c *Cluster) Run() error {
 	return nil
 }
 
-// Counter reads a named counter after the run.
+// Counter reads a named counter (the registry's events family) after
+// the run.
 func (c *Cluster) Counter(name string) int64 {
-	c.countersMu.Lock()
-	defer c.countersMu.Unlock()
-	return c.counters[name]
-}
-
-func (c *Cluster) count(name string, delta int64) {
-	c.countersMu.Lock()
-	c.counters[name] += delta
-	c.countersMu.Unlock()
+	v, _ := c.reg.Value(metrics.EventFamily, name)
+	return v
 }
 
 //ocsml:wallclock the live runtime's virtual clock IS elapsed real time
@@ -275,7 +270,11 @@ func (n *node) Send(e *protocol.Envelope) {
 	}
 	dst := n.c.nodes[e.Dst]
 	delay := time.Duration(n.rng.Int63n(int64(n.c.cfg.MaxDelay) + 1))
-	env := e
+	// Deliver a copy, as a real network's serialization would: the
+	// reliable layer keeps the original in its retransmit queue and
+	// mutates it on a later Send, which must not race the destination
+	// goroutine reading its delivery.
+	env := *e
 	time.AfterFunc(delay, func() {
 		dst.post(func() {
 			if env.Kind == protocol.KindCtl {
@@ -284,7 +283,7 @@ func (n *node) Send(e *protocol.Envelope) {
 					MsgID: env.ID, Seq: -1, Tag: env.CtlTag,
 				})
 			}
-			dst.proto.OnDeliver(env)
+			dst.proto.OnDeliver(&env)
 		})
 	})
 }
@@ -406,6 +405,9 @@ func (n *node) Note(kind trace.Kind, seq int) {
 
 // Count implements protocol.Env.
 func (n *node) Count(name string, delta int64) { n.c.count(name, delta) }
+
+// Metrics implements protocol.Env.
+func (n *node) Metrics() *metrics.Registry { return n.c.reg }
 
 // Draining implements protocol.Env.
 func (n *node) Draining() bool { return n.c.draining.Load() }

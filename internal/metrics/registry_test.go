@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has-dash", "has.dot", "sp ace"} {
+		if _, err := r.NewCounterVec(bad, "h"); err == nil {
+			t.Errorf("name %q: want error, got nil", bad)
+		}
+	}
+	for _, good := range []string{"a", "ocsml_wire_bytes_total", "ns:sub_total", "_hidden", "x9"} {
+		if _, err := r.NewCounterVec(good, "h"); err != nil {
+			t.Errorf("name %q: unexpected error %v", good, err)
+		}
+	}
+}
+
+func TestRegistryLabelValidation(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		labels []string
+		why    string
+	}{
+		{[]string{""}, "empty label"},
+		{[]string{"__reserved"}, "double-underscore prefix"},
+		{[]string{"9num"}, "leading digit"},
+		{[]string{"has:colon"}, "colon not legal in labels"},
+		{[]string{"a", "a"}, "duplicate label"},
+	}
+	for _, c := range cases {
+		if _, err := r.NewCounterVec("m_total", "h", c.labels...); err == nil {
+			t.Errorf("labels %v (%s): want error, got nil", c.labels, c.why)
+		}
+	}
+	if _, err := r.NewSummaryVec("lat_seconds", "h", "quantile"); err == nil {
+		t.Error(`summary with label "quantile": want error, got nil`)
+	}
+	// "quantile" is only reserved for summaries.
+	if _, err := r.NewCounterVec("q_total", "h", "quantile"); err != nil {
+		t.Errorf(`counter with label "quantile": unexpected error %v`, err)
+	}
+}
+
+func TestRegistryCollisions(t *testing.T) {
+	r := NewRegistry()
+	v1, err := r.NewCounterVec("reqs_total", "Requests.", "path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical re-registration is idempotent and shares series.
+	v2, err := r.NewCounterVec("reqs_total", "Requests.", "path")
+	if err != nil {
+		t.Fatalf("idempotent re-registration: %v", err)
+	}
+	v1.With("/a").Add(3)
+	v2.With("/a").Inc()
+	if got, ok := r.Value("reqs_total", "/a"); !ok || got != 4 {
+		t.Fatalf("shared series: got %d (ok=%v), want 4", got, ok)
+	}
+	// Any schema difference is a collision.
+	if _, err := r.NewGaugeVec("reqs_total", "Requests.", "path"); err == nil {
+		t.Error("kind collision: want error")
+	}
+	if _, err := r.NewCounterVec("reqs_total", "Different help.", "path"); err == nil {
+		t.Error("help collision: want error")
+	}
+	if _, err := r.NewCounterVec("reqs_total", "Requests.", "verb"); err == nil {
+		t.Error("label-set collision: want error")
+	}
+	if _, err := r.NewCounterVec("reqs_total", "Requests."); err == nil {
+		t.Error("label-arity collision: want error")
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.MustCounterVec("m_total", "h", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("With with wrong arity: want panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestEventSinkAndCounts(t *testing.T) {
+	r := NewRegistry()
+	count := r.EventSink()
+	count("ctl.CK_BGN", 1)
+	count("ctl.CK_BGN", 2)
+	count("recovery.line_seq", 7)
+	got := r.EventCounts()
+	if got["ctl.CK_BGN"] != 3 || got["recovery.line_seq"] != 7 {
+		t.Fatalf("EventCounts = %v", got)
+	}
+	if v, ok := r.Value(EventFamily, "ctl.CK_BGN"); !ok || v != 3 {
+		t.Fatalf("Value(%s, ctl.CK_BGN) = %d, %v", EventFamily, v, ok)
+	}
+}
+
+func TestAttachAndReplace(t *testing.T) {
+	r := NewRegistry()
+	v := r.MustCounterVec("frames_total", "h", "proc")
+	v.Attach(func() int64 { return 10 }, "0")
+	if got, _ := r.Value("frames_total", "0"); got != 10 {
+		t.Fatalf("attached fn: got %d, want 10", got)
+	}
+	// A restarted node re-attaches; the replacement wins.
+	v.Attach(func() int64 { return 99 }, "0")
+	if got, _ := r.Value("frames_total", "0"); got != 99 {
+		t.Fatalf("re-attached fn: got %d, want 99", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounterVec("b_reqs_total", "Requests by path.", "path")
+	c.With(`we"ird\pa` + "\nth").Add(2)
+	c.With("/ok").Add(5)
+	r.MustGauge("a_queue", "Queue depth.\nSecond line.").Add(3)
+	s := r.MustSummary("c_lat_seconds", "Latency.")
+	s.Observe(1)
+	s.Observe(2)
+	s.Observe(3)
+	s.Observe(4)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# HELP a_queue Queue depth.\\nSecond line.\n",
+		"# TYPE a_queue gauge\n",
+		"a_queue 3\n",
+		"# TYPE b_reqs_total counter\n",
+		`b_reqs_total{path="/ok"} 5` + "\n",
+		`b_reqs_total{path="we\"ird\\pa\nth"} 2` + "\n",
+		"# TYPE c_lat_seconds summary\n",
+		`c_lat_seconds{quantile="0.5"} 2` + "\n",
+		`c_lat_seconds{quantile="0.99"} 4` + "\n",
+		"c_lat_seconds_sum 10\n",
+		"c_lat_seconds_count 4\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q\n--- got ---\n%s", w, out)
+		}
+	}
+	// Families render sorted by name.
+	ia, ib, ic := strings.Index(out, "a_queue"), strings.Index(out, "b_reqs_total"), strings.Index(out, "c_lat_seconds")
+	if !(ia < ib && ib < ic) {
+		t.Errorf("families not sorted: a=%d b=%d c=%d\n%s", ia, ib, ic, out)
+	}
+	// An empty family renders nothing (no series yet).
+	r.MustCounterVec("zz_empty_total", "Never used.", "x")
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "zz_empty_total") {
+		t.Error("empty family should not render")
+	}
+}
+
+// TestRegistryConcurrentUse exercises registration, increments, the
+// event sink and rendering from many goroutines at once (run with
+// -race).
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	count := r.EventSink()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := r.MustCounterVec("shared_total", "h", "proc")
+			for i := 0; i < 200; i++ {
+				v.With("p").Inc()
+				count("ev", 1)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, _ := r.Value("shared_total", "p"); got != 8*200 {
+		t.Fatalf("shared_total = %d, want %d", got, 8*200)
+	}
+	if got := r.EventCounts()["ev"]; got != 8*200 {
+		t.Fatalf("ev = %d, want %d", got, 8*200)
+	}
+}
+
+// TestSummaryConcurrent hammers one Summary with concurrent Observe,
+// Percentile, Stddev and render calls; correctness here is the absence
+// of data races (run with -race) plus sane final aggregates.
+func TestSummaryConcurrent(t *testing.T) {
+	var s Summary
+	const (
+		writers = 4
+		each    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Observe(float64(w*each + i))
+			}
+		}(w)
+	}
+	for rd := 0; rd < 3; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := s.Percentile(50)
+				if p < 0 {
+					t.Error("negative percentile")
+				}
+				if s.Stddev() < 0 {
+					t.Error("negative stddev")
+				}
+				_ = s.Mean()
+				_, _ = s.Min(), s.Max()
+			}
+		}()
+	}
+	wg.Wait()
+	n := writers * each
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+	if got, want := s.Sum(), float64(n)*float64(n-1)/2; got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got := s.Percentile(100); got != float64(n-1) {
+		t.Fatalf("P100 = %v, want %v", got, float64(n-1))
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
+	"ocsml/internal/metrics"
 	"ocsml/internal/trace"
 )
 
@@ -95,6 +96,11 @@ type Env interface {
 	// "ctl.CK_BGN", "blocked_ns"). Names are free-form; the harness
 	// reads them from the run result.
 	Count(name string, delta int64)
+	// Metrics returns the hosting runtime's named-metric registry, where
+	// layers register first-class instruments (help text, labels,
+	// Prometheus exposition) — the structured counterpart of the
+	// free-form Count namespace. Never nil.
+	Metrics() *metrics.Registry
 	// Draining reports that the workload has completed and the engine is
 	// letting in-flight protocol activity settle. Protocols should stop
 	// initiating new checkpoints once draining.

@@ -8,6 +8,7 @@ import (
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/trace"
 )
@@ -19,6 +20,7 @@ type FakeEnv struct {
 	Sent     []*protocol.Envelope
 	Store    *checkpoint.ProcStore
 	Counters map[string]int64
+	Reg      *metrics.Registry
 	Queue    int // reported StorageQueueLen
 	Events   []trace.Event
 	// Proto receives timer callbacks when the simulator runs.
@@ -33,6 +35,7 @@ func New(id, n int) *FakeEnv {
 		Sim: des.New(1), Id: id, Np: n,
 		Store:    checkpoint.NewStore(n).Proc(id),
 		Counters: map[string]int64{},
+		Reg:      metrics.NewRegistry(),
 	}
 }
 
@@ -127,6 +130,9 @@ func (f *FakeEnv) Note(kind trace.Kind, seq int) {
 
 // Count implements protocol.Env.
 func (f *FakeEnv) Count(name string, d int64) { f.Counters[name] += d }
+
+// Metrics implements protocol.Env.
+func (f *FakeEnv) Metrics() *metrics.Registry { return f.Reg }
 
 // Draining implements protocol.Env.
 func (f *FakeEnv) Draining() bool { return false }

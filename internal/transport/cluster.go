@@ -11,6 +11,7 @@ import (
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/core"
 	"ocsml/internal/fsstore"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/reliable"
 	"ocsml/internal/trace"
@@ -44,24 +45,31 @@ type ClusterConfig struct {
 	// Hook, when non-nil, filters every outgoing frame of every node —
 	// the chaos runner's fault-injection point (internal/faultnet).
 	Hook SendHook
+	// Metrics is the shared named-metric registry of the cluster's nodes
+	// (a fresh one when nil). The free-form counter namespace lands in
+	// its events family; Counter/Counters read from there.
+	Metrics *metrics.Registry
 }
 
 // Cluster is a set of transport nodes sharing one recorder, checkpoint
-// store and counter table, connected by real TCP.
+// store and metric registry, connected by real TCP.
 type Cluster struct {
 	cfg   ClusterConfig
 	Rec   *trace.Recorder
 	Ckpts *checkpoint.Store
+	// Metrics is the shared registry (ClusterConfig.Metrics or a fresh
+	// one); the admin server serves it at /metrics.
+	Metrics *metrics.Registry
 
 	addrs []string
-	nodes []*Node
+	nodes []*Node // elements replaced under mu by Restart
 	fss   []*fsstore.Store
 	base  time.Time
 	epoch int
 
+	count func(name string, delta int64)
+
 	mu sync.Mutex
-	//ocsml:guardedby mu
-	counters map[string]int64
 	//ocsml:guardedby mu
 	done   []bool
 	doneCh chan struct{}
@@ -82,16 +90,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Drain <= 0 {
 		cfg.Drain = 500 * time.Millisecond
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	c := &Cluster{
-		cfg:      cfg,
-		Rec:      trace.NewRecorder(),
-		Ckpts:    checkpoint.NewStore(cfg.N),
-		base:     time.Now(), //ocsml:wallclock shared time origin of the real-network cluster
-		counters: map[string]int64{},
-		done:     make([]bool, cfg.N),
-		doneCh:   make(chan struct{}, 1),
-		nodes:    make([]*Node, cfg.N),
-		fss:      make([]*fsstore.Store, cfg.N),
+		cfg:     cfg,
+		Rec:     trace.NewRecorder(),
+		Ckpts:   checkpoint.NewStore(cfg.N),
+		Metrics: cfg.Metrics,
+		base:    time.Now(), //ocsml:wallclock shared time origin of the real-network cluster
+		count:   cfg.Metrics.EventSink(),
+		done:    make([]bool, cfg.N),
+		doneCh:  make(chan struct{}, 1),
+		nodes:   make([]*Node, cfg.N),
+		fss:     make([]*fsstore.Store, cfg.N),
 	}
 	listeners := make([]net.Listener, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -111,6 +123,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+			fs.SetMetrics(fsstore.NewStoreMetrics(c.Metrics, i))
 			c.fss[i] = fs
 		}
 		n, err := c.buildNode(i, listeners[i], -1, nil)
@@ -140,6 +153,7 @@ func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.
 		Resume: resume, ResumeRec: rec,
 		Proto: proto, App: app,
 		Rec: c.Rec, Ckpts: c.Ckpts, Count: c.count,
+		Metrics:        c.Metrics,
 		Hook:           c.cfg.Hook,
 		FS:             c.fss[i],
 		WriteBandwidth: c.cfg.WriteBandwidth,
@@ -152,8 +166,22 @@ func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.
 // Addrs returns the cluster's TCP addresses.
 func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
 
-// Node returns process i's node.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+// Node returns process i's node (the current incarnation — Restart
+// replaces the element).
+func (c *Cluster) Node(i int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// Nodes snapshots the current node set — the admin server's view of the
+// locally hosted processes (called per request, so a restarted node is
+// observed).
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Node(nil), c.nodes...)
+}
 
 // FS returns process i's on-disk store (nil without a datadir).
 func (c *Cluster) FS(i int) *fsstore.Store { return c.fss[i] }
@@ -183,9 +211,18 @@ func (c *Cluster) WaitDone(timeout time.Duration) error {
 
 // Run executes the cluster start-to-finish: start, wait for the
 // workload, drain, stop.
-func (c *Cluster) Run() error {
+func (c *Cluster) Run() error { return c.RunThen(nil) }
+
+// RunThen is Run with a pre-stop hook: beforeStop (when non-nil) runs
+// after the drain and before the nodes close. The daemon shuts its
+// admin server down there, so an in-flight status read still observes a
+// live mesh — the shutdown ordering the control plane requires.
+func (c *Cluster) RunThen(beforeStop func()) error {
 	c.Start()
 	defer c.Stop()
+	if beforeStop != nil {
+		defer beforeStop() // deferred after Stop, so it runs first (LIFO)
+	}
 	if err := c.WaitDone(c.cfg.Timeout); err != nil {
 		return err
 	}
@@ -200,7 +237,7 @@ func (c *Cluster) Run() error {
 
 // Stop closes every node.
 func (c *Cluster) Stop() {
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		if n != nil {
 			n.Close()
 		}
@@ -211,8 +248,9 @@ func (c *Cluster) Stop() {
 // in-memory protocol state, unflushed tentative checkpoints and logs)
 // is gone; only its fsstore directory survives.
 func (c *Cluster) Kill(i int) {
-	c.nodes[i].Close()
-	c.Rec.Record(trace.Event{T: c.nodes[i].Now(), Kind: trace.KFail, Proc: i, Peer: -1, Seq: -1})
+	n := c.Node(i)
+	n.Close()
+	c.Rec.Record(trace.Event{T: n.Now(), Kind: trace.KFail, Proc: i, Peer: -1, Seq: -1})
 	c.count("recovery.failures", 1)
 }
 
@@ -235,6 +273,7 @@ func (c *Cluster) Recover(victim int) (int, error) {
 	if err != nil {
 		return -1, err
 	}
+	fs.SetMetrics(fsstore.NewStoreMetrics(c.Metrics, victim))
 	c.fss[victim] = fs
 	ln, err := net.Listen("tcp", c.addrs[victim])
 	if err != nil {
@@ -272,6 +311,7 @@ func (c *Cluster) Restart(i, line int) error {
 	if err != nil {
 		return err
 	}
+	fs.SetMetrics(fsstore.NewStoreMetrics(c.Metrics, i))
 	c.fss[i] = fs
 	if err := fs.TruncateAfter(line); err != nil {
 		return err
@@ -304,35 +344,23 @@ func (c *Cluster) Restart(i, line int) error {
 		ln.Close()
 		return err
 	}
+	c.mu.Lock()
 	c.nodes[i] = n
+	c.mu.Unlock()
 	n.Start()
 	c.count("recovery.restarts", 1)
 	return nil
 }
 
-// count is the shared counter sink.
-func (c *Cluster) count(name string, delta int64) {
-	c.mu.Lock()
-	c.counters[name] += delta
-	c.mu.Unlock()
-}
-
-// Counter reads one counter.
+// Counter reads one free-form counter from the registry's events family.
 func (c *Cluster) Counter(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters[name]
+	v, _ := c.Metrics.Value(metrics.EventFamily, name)
+	return v
 }
 
-// Counters returns a copy of the counter table.
+// Counters returns a snapshot of the free-form counter table.
 func (c *Cluster) Counters() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.counters))
-	for k, v := range c.counters {
-		out[k] = v
-	}
-	return out
+	return c.Metrics.EventCounts()
 }
 
 func (c *Cluster) nodeDone(id int) {
@@ -440,7 +468,7 @@ func (c *Cluster) Report() (*Report, error) {
 	if r.AppMessages > 0 {
 		r.PiggybackBytesPerMsg = float64(r.PiggybackBytes) / float64(r.AppMessages)
 	}
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		st := n.Mesh().Stats()
 		r.FramesSent += st.FramesSent
 		r.FrameBytes += st.BytesSent

@@ -78,6 +78,35 @@ type Mesh struct {
 type peer struct {
 	id  int
 	out chan []byte
+	// connected tracks whether the writer currently holds an established
+	// outbound connection — the liveness bit the admin API reports.
+	connected atomic.Bool
+}
+
+// PeerInfo is one peer's liveness snapshot as the admin API reports it.
+type PeerInfo struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+	// Connected reports an established outbound connection to the peer.
+	Connected bool `json:"connected"`
+	// QueueLen is the number of frames waiting on the outgoing queue.
+	QueueLen int `json:"queueLen"`
+}
+
+// Peers snapshots the outbound-connection state toward every peer.
+func (m *Mesh) Peers() []PeerInfo {
+	out := make([]PeerInfo, 0, len(m.peers)-1)
+	for _, p := range m.peers {
+		if p == nil {
+			continue
+		}
+		out = append(out, PeerInfo{
+			ID: p.id, Addr: m.cfg.Addrs[p.id],
+			Connected: p.connected.Load(),
+			QueueLen:  len(p.out),
+		})
+	}
+	return out
 }
 
 // NewMesh builds the mesh around an already-bound listener (so a
@@ -252,6 +281,7 @@ func (m *Mesh) writerLoop(p *peer) {
 	var conn net.Conn
 	var carry []byte // frame whose write failed, resent first on reconnect
 	defer func() {
+		p.connected.Store(false)
 		if conn != nil {
 			m.untrackConn(conn)
 		}
@@ -284,6 +314,7 @@ func (m *Mesh) writerLoop(p *peer) {
 				return
 			}
 			conn = c
+			p.connected.Store(true)
 			backoff = m.cfg.DialBackoff // reset on success
 			if everConnected {
 				m.reconnects.Add(1)
@@ -302,6 +333,7 @@ func (m *Mesh) writerLoop(p *peer) {
 		}
 		if err := writeFrame(conn, frame); err != nil {
 			carry = frame
+			p.connected.Store(false)
 			m.untrackConn(conn)
 			conn = nil
 			continue

@@ -11,6 +11,7 @@ import (
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
 	"ocsml/internal/fsstore"
+	"ocsml/internal/metrics"
 	"ocsml/internal/protocol"
 	"ocsml/internal/trace"
 	"ocsml/internal/wire"
@@ -43,6 +44,13 @@ type NodeConfig struct {
 	Rec   *trace.Recorder
 	Ckpts *checkpoint.Store
 	Count func(name string, delta int64)
+
+	// Metrics is the named-metric registry the node registers its wire
+	// and recovery series into (shared across the nodes of an in-process
+	// cluster, private to a daemon). A nil Metrics gets a fresh registry;
+	// when Count is also nil it defaults to the registry's event sink, so
+	// a standalone node still accumulates the free-form statistics.
+	Metrics *metrics.Registry
 
 	// FS, when non-nil, persists every finalized checkpoint to disk at
 	// the moment the protocol issues its stable-storage write.
@@ -102,9 +110,16 @@ type Node struct {
 	stall     int
 	deferred  []func()
 	persisted int // highest seq written to FS
+	recLine   int // last committed rollback/resume line (-1: never)
 
 	staleDropped atomic.Int64
 	decodeErrors atomic.Int64
+
+	// Registry-backed series (see registerMetrics).
+	mAppFrames *metrics.Counter
+	mPiggyback *metrics.Counter
+	mRollbacks *metrics.Counter
+	mReplayed  *metrics.Counter
 }
 
 type storeReq struct {
@@ -124,8 +139,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Proto == nil || cfg.App == nil || cfg.Rec == nil || cfg.Ckpts == nil {
 		return nil, fmt.Errorf("transport: node needs proto, app, recorder and store")
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	if cfg.Count == nil {
-		cfg.Count = func(string, int64) {}
+		cfg.Count = cfg.Metrics.EventSink()
 	}
 	if cfg.Base.IsZero() {
 		cfg.Base = time.Now() //ocsml:wallclock standalone node anchors its own time origin
@@ -138,6 +156,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		storageCh: make(chan storeReq, 1024),
 		epoch:     cfg.Epoch,
 		persisted: cfg.Resume,
+		recLine:   cfg.Resume,
 	}
 	// Envelope IDs must be unique across OS processes AND across the
 	// incarnations of one process: a restarted node's counter starts at
@@ -145,13 +164,6 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// would alias a pre-crash one and confuse trace pairing and dedup.
 	// Bits 40+: node, 32-39: starting epoch, 0-31: counter.
 	n.idBase = (int64(cfg.ID)+1)<<40 | int64(cfg.Epoch&0xff)<<32
-	if cfg.Resume >= 0 && cfg.ResumeRec != nil {
-		// Genuine log replay, not a shortcut to the recorded result: fold
-		// the durable message log over the restored tentative state and
-		// verify it reproduces the fold recorded at finalization.
-		n.fold = n.replayFold(cfg.ResumeRec)
-		n.work = cfg.ResumeRec.CFEWork
-	}
 	mesh, err := NewMesh(MeshConfig{
 		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed, Hook: cfg.Hook,
 	}, cfg.Listener, n.onFrame)
@@ -159,7 +171,53 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.mesh = mesh
+	n.registerMetrics()
+	if cfg.Resume >= 0 && cfg.ResumeRec != nil {
+		// Genuine log replay, not a shortcut to the recorded result: fold
+		// the durable message log over the restored tentative state and
+		// verify it reproduces the fold recorded at finalization.
+		n.fold = n.replayFold(cfg.ResumeRec)
+		n.work = cfg.ResumeRec.CFEWork
+	}
 	return n, nil
+}
+
+// registerMetrics installs this node's series in the registry. Counters
+// backed by mesh/node atomics are function-attached (read at scrape
+// time); a restarted node replaces its predecessor's series, so the
+// per-proc values restart with the incarnation — exactly the semantics
+// of a process restart under Prometheus.
+func (n *Node) registerMetrics() {
+	reg := n.cfg.Metrics
+	proc := fmt.Sprintf("%d", n.cfg.ID)
+	m := n.mesh
+	reg.MustCounterVec("ocsml_wire_frames_sent_total",
+		"Frames written to peer TCP connections.", "proc").Attach(m.framesSent.Load, proc)
+	reg.MustCounterVec("ocsml_wire_frames_recv_total",
+		"Frames read from peer TCP connections.", "proc").Attach(m.framesRecv.Load, proc)
+	reg.MustCounterVec("ocsml_wire_bytes_sent_total",
+		"Bytes written to peer TCP connections, including frame headers.", "proc").Attach(m.bytesSent.Load, proc)
+	reg.MustCounterVec("ocsml_wire_bytes_recv_total",
+		"Bytes read from peer TCP connections, including frame headers.", "proc").Attach(m.bytesRecv.Load, proc)
+	reg.MustCounterVec("ocsml_wire_reconnects_total",
+		"Peer connections re-established after loss.", "proc").Attach(m.reconnects.Load, proc)
+	reg.MustCounterVec("ocsml_wire_frames_dropped_total",
+		"Frames dropped at a full peer queue (recovered by retransmission).", "proc").Attach(m.dropped.Load, proc)
+	reg.MustCounterVec("ocsml_wire_decode_errors_total",
+		"Frames the wire codec rejected.", "proc").Attach(n.decodeErrors.Load, proc)
+	reg.MustCounterVec("ocsml_wire_stale_dropped_total",
+		"Envelopes dropped at the epoch fence (pre-rollback traffic).", "proc").Attach(n.staleDropped.Load, proc)
+	reg.MustGaugeVec("ocsml_node_storage_queue",
+		"Stable-storage writes queued or in service.", "proc").
+		Attach(func() int64 { return int64(n.storageQ.Load()) }, proc)
+	n.mAppFrames = reg.MustCounterVec("ocsml_wire_app_frames_total",
+		"Application frames sent.", "proc").With(proc)
+	n.mPiggyback = reg.MustCounterVec("ocsml_wire_piggyback_bytes_total",
+		"Encoded bytes of protocol piggyback carried on application messages.", "proc").With(proc)
+	n.mRollbacks = reg.MustCounterVec("ocsml_recovery_rollbacks_total",
+		"Committed rollbacks executed (RB_CMT).", "proc").With(proc)
+	n.mReplayed = reg.MustCounterVec("ocsml_recovery_replayed_msgs_total",
+		"Logged messages replayed during piecewise-deterministic recovery.", "proc").With(proc)
 }
 
 // Start launches the node: mesh, loop and storage goroutines, then the
@@ -399,6 +457,8 @@ func (n *Node) Send(e *protocol.Envelope) {
 		}
 		n.cfg.Count("wire.piggyback_bytes", int64(p))
 		n.cfg.Count("wire.app_frames", 1)
+		n.mPiggyback.Add(int64(p))
+		n.mAppFrames.Inc()
 	}
 	n.mesh.Send(e.Dst, frame)
 }
@@ -537,6 +597,9 @@ func (n *Node) Note(kind trace.Kind, seq int) {
 
 // Count implements protocol.Env.
 func (n *Node) Count(name string, delta int64) { n.cfg.Count(name, delta) }
+
+// Metrics implements protocol.Env.
+func (n *Node) Metrics() *metrics.Registry { return n.cfg.Metrics }
 
 // Draining implements protocol.Env: the real runtime has no drain
 // phase; the cluster simply closes nodes when done.

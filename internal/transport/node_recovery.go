@@ -103,8 +103,10 @@ func (n *Node) rollbackTo(line, epoch int, onDurable func()) {
 	}
 	rew.Rollback(line)
 	n.restoreApp(rec)
+	n.recLine = line
 	n.cfg.Rec.Record(trace.Event{T: n.Now(), Kind: trace.KRestore, Proc: n.cfg.ID, Peer: -1, Seq: line})
 	n.cfg.Count("recovery.rollbacks", 1)
+	n.mRollbacks.Inc()
 	if n.cfg.OnRollback != nil {
 		n.cfg.OnRollback(n.cfg.ID, line)
 	}
@@ -142,6 +144,7 @@ func (n *Node) replayFold(rec *checkpoint.Record) uint64 {
 		return rec.CFEFold
 	}
 	n.cfg.Count("recovery.replayed_msgs", int64(len(rec.Log)))
+	n.mReplayed.Add(int64(len(rec.Log)))
 	return fold
 }
 
