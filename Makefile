@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos ctl soak fuzz
+.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos ctl soak fuzz bench-wire
 
 all: build test
 
@@ -66,3 +66,16 @@ soak:
 
 fuzz:
 	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzDecodeV2 -fuzztime 30s ./internal/wire/
+
+# bench-wire is the wire-hot-path perf gate: the allocation-regression
+# tests (exact-zero asserts need a race-free build, so `make race` skips
+# them), the go benchmarks for the codec and the live mesh, then the
+# quick-scale experiment suite, which writes the BENCH_<date>.json
+# headline (wire-encode-allocs-per-msg, wire-mesh-msgs-per-sec-per-node);
+# CI uploads the JSON as an artifact.
+bench-wire:
+	$(GO) test -run 'Alloc' -count=1 ./internal/wire/ ./internal/transport/
+	$(GO) test -run NONE -bench 'BenchmarkWire(Encode|Decode)' -benchmem ./internal/wire/
+	$(GO) test -run NONE -bench BenchmarkMeshThroughput -benchmem ./internal/transport/
+	$(GO) run ./cmd/experiments -quick -json .

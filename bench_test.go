@@ -255,6 +255,19 @@ func BenchmarkA4_LocalStorage(b *testing.B) {
 	})
 }
 
+func BenchmarkW1_WireEncode(b *testing.B) {
+	benchExperiment(b, "W1", func(tab *harness.Table) (string, float64) {
+		i := lastRowWhere(tab, 0, "encode-v2-delta")
+		return "wire-encode-allocs-per-msg", cell(tab, i, 1)
+	})
+}
+
+func BenchmarkW2_MeshThroughput(b *testing.B) {
+	benchExperiment(b, "W2", func(tab *harness.Table) (string, float64) {
+		return "wire-mesh-msgs-per-sec-per-node", cell(tab, 0, 1)
+	})
+}
+
 // BenchmarkProtocolThroughput measures raw simulator throughput for the
 // core protocol: virtual events per real second on a dense workload.
 func BenchmarkProtocolThroughput(b *testing.B) {

@@ -614,7 +614,7 @@ func (p *Protocol) OnDeliver(e *protocol.Envelope) {
 		p.onControl(e)
 		return
 	}
-	pb, ok := e.Payload.(Piggyback)
+	pb, ok := AsPiggyback(e.Payload)
 	if !ok {
 		panic(fmt.Sprintf("core: P%d received app message without piggyback", p.env.ID()))
 	}

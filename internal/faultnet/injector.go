@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ocsml/internal/wire"
 )
 
 // reorderFlush bounds how long a frame held for an adjacent-swap reorder
@@ -63,9 +65,9 @@ type linkState struct {
 	//ocsml:guardedby mu
 	parts []Window // partition windows covering this pair
 	//ocsml:guardedby mu
-	held []byte // frame held back for an adjacent-swap reorder
+	held *wire.Frame // frame held back for an adjacent-swap reorder
 	//ocsml:guardedby mu
-	heldFn func([]byte)
+	heldFn func(*wire.Frame)
 }
 
 // NewInjector builds the injector for a schedule.
@@ -116,7 +118,7 @@ func (inj *Injector) Stats() Stats {
 // Apply is the transport send hook: decide this frame's fate on link
 // src->dst at the current elapsed time. deliver enqueues a frame at the
 // peer queue and is safe to call from timer goroutines after shutdown.
-func (inj *Injector) Apply(src, dst int, frame []byte, deliver func(frame []byte)) {
+func (inj *Injector) Apply(src, dst int, frame *wire.Frame, deliver func(frame *wire.Frame)) {
 	inj.mu.Lock()
 	active, base := inj.active, inj.base
 	inj.mu.Unlock()

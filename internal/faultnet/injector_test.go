@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ocsml/internal/wire"
 )
 
 // collector counts deliveries per payload byte, concurrency-safe since
@@ -13,9 +15,9 @@ type collector struct {
 	frames [][]byte
 }
 
-func (c *collector) deliver(f []byte) {
+func (c *collector) deliver(f *wire.Frame) {
 	c.mu.Lock()
-	c.frames = append(c.frames, f)
+	c.frames = append(c.frames, f.Bytes())
 	c.mu.Unlock()
 }
 
@@ -33,7 +35,7 @@ func TestInjectorPassThroughBeforeActivate(t *testing.T) {
 	f := LinkFault{Src: 0, Dst: 1, Window: Window{To: time.Hour}, Drop: 1}
 	inj := NewInjector(always(0, 1, f))
 	var c collector
-	inj.Apply(0, 1, []byte{1}, c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{1}), c.deliver)
 	if c.count() != 1 {
 		t.Fatalf("inactive injector interfered: %d deliveries", c.count())
 	}
@@ -45,7 +47,7 @@ func TestInjectorDropsEverything(t *testing.T) {
 	inj.Activate(time.Now())
 	var c collector
 	for i := 0; i < 50; i++ {
-		inj.Apply(0, 1, []byte{byte(i)}, c.deliver)
+		inj.Apply(0, 1, wire.RawFrame([]byte{byte(i)}), c.deliver)
 	}
 	if c.count() != 0 {
 		t.Fatalf("drop=1 delivered %d frames", c.count())
@@ -54,8 +56,8 @@ func TestInjectorDropsEverything(t *testing.T) {
 		t.Fatalf("dropped counter = %d", inj.Stats().Dropped)
 	}
 	// Other links and the reverse direction are untouched.
-	inj.Apply(1, 0, []byte{9}, c.deliver)
-	inj.Apply(2, 3, []byte{9}, c.deliver)
+	inj.Apply(1, 0, wire.RawFrame([]byte{9}), c.deliver)
+	inj.Apply(2, 3, wire.RawFrame([]byte{9}), c.deliver)
 	if c.count() != 2 {
 		t.Fatalf("unfaulted links affected: %d deliveries", c.count())
 	}
@@ -66,7 +68,7 @@ func TestInjectorDuplicates(t *testing.T) {
 	inj := NewInjector(always(0, 1, f))
 	inj.Activate(time.Now())
 	var c collector
-	inj.Apply(0, 1, []byte{7}, c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{7}), c.deliver)
 	if c.count() != 2 {
 		t.Fatalf("dup=1 delivered %d copies", c.count())
 	}
@@ -78,12 +80,12 @@ func TestInjectorPartitionBidirectional(t *testing.T) {
 	inj := NewInjector(s)
 	inj.Activate(time.Now())
 	var c collector
-	inj.Apply(0, 2, []byte{1}, c.deliver)
-	inj.Apply(2, 0, []byte{2}, c.deliver)
+	inj.Apply(0, 2, wire.RawFrame([]byte{1}), c.deliver)
+	inj.Apply(2, 0, wire.RawFrame([]byte{2}), c.deliver)
 	if c.count() != 0 {
 		t.Fatalf("partitioned pair delivered %d frames", c.count())
 	}
-	inj.Apply(0, 1, []byte{3}, c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{3}), c.deliver)
 	if c.count() != 1 {
 		t.Fatal("partition leaked onto another pair")
 	}
@@ -98,7 +100,7 @@ func TestInjectorWindowExpires(t *testing.T) {
 	// Anchor the timeline in the past so the window is already over.
 	inj.Activate(time.Now().Add(-time.Second))
 	var c collector
-	inj.Apply(0, 1, []byte{1}, c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{1}), c.deliver)
 	if c.count() != 1 {
 		t.Fatal("expired fault window still dropping")
 	}
@@ -110,7 +112,7 @@ func TestInjectorDelayDelivers(t *testing.T) {
 	inj := NewInjector(always(0, 1, f))
 	inj.Activate(time.Now())
 	var c collector
-	inj.Apply(0, 1, []byte{1}, c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{1}), c.deliver)
 	if c.count() != 0 {
 		t.Fatal("delayed frame delivered synchronously")
 	}
@@ -131,8 +133,8 @@ func TestInjectorReorderSwapsAdjacent(t *testing.T) {
 	inj := NewInjector(always(0, 1, f))
 	inj.Activate(time.Now())
 	var c collector
-	inj.Apply(0, 1, []byte{1}, c.deliver)
-	inj.Apply(0, 1, []byte{2}, c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{1}), c.deliver)
+	inj.Apply(0, 1, wire.RawFrame([]byte{2}), c.deliver)
 	// Frame 2 was also eligible for holding; flush timers release any
 	// remainder. Wait for both to land.
 	deadline := time.Now().Add(2 * time.Second)
@@ -164,7 +166,7 @@ func TestInjectorLinkStreamsDeterministic(t *testing.T) {
 		var got []int
 		for i := 0; i < 200; i++ {
 			var c collector
-			inj.Apply(0, 1, []byte{byte(i)}, c.deliver)
+			inj.Apply(0, 1, wire.RawFrame([]byte{byte(i)}), c.deliver)
 			got = append(got, c.count())
 		}
 		return got

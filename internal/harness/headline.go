@@ -62,4 +62,6 @@ var headlines = map[string]headline{
 	"A2":  {"req-per-global-skip", fixed(1), 2},
 	"A3":  {"early-peak-queue", fixed(1), 1},
 	"A4":  {"kt-local-blocked-s", lastWhere(0, "koo-toueg"), 4},
+	"W1":  {"wire-encode-allocs-per-msg", lastWhere(0, "encode-v2-delta"), 1},
+	"W2":  {"wire-mesh-msgs-per-sec-per-node", fixed(0), 1},
 }

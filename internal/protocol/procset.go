@@ -47,6 +47,13 @@ func (s ProcSet) Has(id int) bool {
 	return s.words[id/64]&(1<<(uint(id)%64)) != 0
 }
 
+// Toggle flips process id's membership. The wire codec's piggyback delta
+// decoder applies changed-bit lists with it.
+func (s ProcSet) Toggle(id int) {
+	s.check(id)
+	s.words[id/64] ^= 1 << (uint(id) % 64)
+}
+
 func (s ProcSet) check(id int) {
 	if id < 0 || id >= s.n {
 		panic(fmt.Sprintf("protocol: process id %d outside universe [0,%d)", id, s.n))
@@ -99,6 +106,37 @@ func (s ProcSet) Clone() ProcSet {
 	c := ProcSet{n: s.n, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
+}
+
+// CopyFrom makes s an exact copy of other, reusing s's backing storage
+// when its capacity suffices — the allocation-free alternative to Clone
+// on hot paths that keep a long-lived scratch set.
+func (s *ProcSet) CopyFrom(other ProcSet) {
+	nw := len(other.words)
+	if cap(s.words) >= nw {
+		s.words = s.words[:nw]
+	} else {
+		s.words = make([]uint64, nw)
+	}
+	copy(s.words, other.words)
+	s.n = other.n
+}
+
+// AppendDiffIndices appends to dst, in ascending order, every id whose
+// membership differs between s and prev — the changed-bit list of the
+// wire codec's piggyback delta encoding. The universes must match.
+func (s ProcSet) AppendDiffIndices(dst []int, prev ProcSet) []int {
+	if s.n != prev.n {
+		panic(fmt.Sprintf("protocol: diff of mismatched universes %d and %d", s.n, prev.n))
+	}
+	for i := range s.words {
+		w := s.words[i] ^ prev.words[i]
+		for w != 0 {
+			dst = append(dst, i*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // Equal reports whether two sets over the same universe have identical
@@ -189,18 +227,40 @@ func (s ProcSet) AppendBinary(b []byte) []byte {
 // DecodeProcSet decodes a set produced by AppendBinary from the front of
 // b, returning the set and the number of bytes consumed.
 func DecodeProcSet(b []byte) (ProcSet, int, error) {
+	var s ProcSet
+	k, err := s.DecodeInto(b)
+	if err != nil {
+		return ProcSet{}, 0, err
+	}
+	return s, k, nil
+}
+
+// DecodeInto decodes a set produced by AppendBinary from the front of b
+// into s, reusing s's backing storage when its capacity suffices, and
+// returns the number of bytes consumed. On error s is left in an
+// unspecified state; the caller must discard it.
+func (s *ProcSet) DecodeInto(b []byte) (int, error) {
 	n, k := binary.Uvarint(b)
 	if k <= 0 {
-		return ProcSet{}, 0, errors.New("protocol: short ProcSet universe")
+		return 0, errors.New("protocol: short ProcSet universe")
 	}
 	if n > MaxUniverse {
-		return ProcSet{}, 0, fmt.Errorf("protocol: ProcSet universe %d exceeds limit", n)
+		return 0, fmt.Errorf("protocol: ProcSet universe %d exceeds limit", n)
 	}
-	s := NewProcSet(int(n))
 	nb := (int(n) + 7) / 8
 	if len(b) < k+nb {
-		return ProcSet{}, 0, errors.New("protocol: short ProcSet bits")
+		return 0, errors.New("protocol: short ProcSet bits")
 	}
+	nw := (int(n) + 63) / 64
+	if cap(s.words) >= nw {
+		s.words = s.words[:nw]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	} else {
+		s.words = make([]uint64, nw)
+	}
+	s.n = int(n)
 	for i := 0; i < nb; i++ {
 		s.words[i/8] |= uint64(b[k+i]) << (uint(i%8) * 8)
 	}
@@ -208,8 +268,8 @@ func DecodeProcSet(b []byte) (ProcSet, int, error) {
 	// re-encode, breaking round-trip equality guarantees.
 	if nb > 0 {
 		if extra := uint(nb*8 - int(n)); extra > 0 && b[k+nb-1]>>(8-extra) != 0 {
-			return ProcSet{}, 0, errors.New("protocol: ProcSet bits beyond universe")
+			return 0, errors.New("protocol: ProcSet bits beyond universe")
 		}
 	}
-	return s, k + nb, nil
+	return k + nb, nil
 }

@@ -122,8 +122,16 @@ func (p *Protocol) OnAppSend(e *protocol.Envelope) {
 // OnDeliver implements protocol.Protocol: ack, dedupe, pass through.
 func (p *Protocol) OnDeliver(e *protocol.Envelope) {
 	if e.Kind == protocol.KindCtl && e.CtlTag == AckTag {
-		a := e.Payload.(Ack)
-		delete(p.pending, a.ID)
+		// ACKs are the most numerous frames on the wire, so the zero-copy
+		// decode path hands them out as *Ack views; accept both forms.
+		switch a := e.Payload.(type) {
+		case Ack:
+			delete(p.pending, a.ID)
+		case *Ack:
+			delete(p.pending, a.ID)
+		default:
+			panic(fmt.Sprintf("reliable: ACK envelope with %T payload", e.Payload))
+		}
 		return
 	}
 	// Acknowledge every delivery, including duplicates — the earlier ACK

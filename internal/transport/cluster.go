@@ -45,6 +45,10 @@ type ClusterConfig struct {
 	// Hook, when non-nil, filters every outgoing frame of every node —
 	// the chaos runner's fault-injection point (internal/faultnet).
 	Hook SendHook
+	// WireVersion pins every node's wire format (see
+	// NodeConfig.WireVersion). Zero means wire.VersionLatest; 1 runs
+	// the whole cluster on the v1 format, the mixed-version fallback.
+	WireVersion int
 	// Metrics is the shared named-metric registry of the cluster's nodes
 	// (a fresh one when nil). The free-form counter namespace lands in
 	// its events family; Counter/Counters read from there.
@@ -155,6 +159,7 @@ func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.
 		Rec: c.Rec, Ckpts: c.Ckpts, Count: c.count,
 		Metrics:        c.Metrics,
 		Hook:           c.cfg.Hook,
+		WireVersion:    c.cfg.WireVersion,
 		FS:             c.fss[i],
 		WriteBandwidth: c.cfg.WriteBandwidth,
 		Base:           c.base,

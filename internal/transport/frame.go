@@ -53,20 +53,33 @@ func writeFrame(w io.Writer, payload []byte) error {
 // readFrame reads one length-prefixed frame from r. It returns io.EOF
 // cleanly only when the stream ends exactly on a frame boundary.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one length-prefixed frame from r into buf's
+// storage, growing it only when the frame doesn't fit — the
+// allocation-free read path of a connection's reader loop. The returned
+// slice aliases buf (when capacity sufficed) and is valid until the
+// next readFrameInto with the same buffer.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds max %d", n, MaxFrame)
+		return buf, fmt.Errorf("transport: incoming frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return buf, err
 	}
-	return payload, nil
+	return buf, nil
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ocsml/internal/wire"
 )
 
 // SendHook intercepts every outgoing frame before it reaches the peer
@@ -15,7 +17,11 @@ import (
 // call deliver zero times (drop), once (pass or delay, possibly from a
 // timer goroutine later), or several times (duplication). deliver is
 // safe to call after the mesh has shut down.
-type SendHook func(src, dst int, frame []byte, deliver func(frame []byte))
+//
+// A hooked mesh never returns frames to the wire frame pool: the hook
+// may still hold (or duplicate) a frame after the writer is done with
+// its first copy, so ownership is left to the garbage collector.
+type SendHook func(src, dst int, f *wire.Frame, deliver func(f *wire.Frame))
 
 // MeshConfig parameterizes the TCP peer mesh of one process.
 type MeshConfig struct {
@@ -27,6 +33,11 @@ type MeshConfig struct {
 	Seed int64
 	// Hook, when non-nil, filters every outgoing frame (fault injection).
 	Hook SendHook
+	// Count, when non-nil, receives the mesh's free-form statistics —
+	// notably "wire.piggyback_bytes", accounted at write time where the
+	// per-connection delta encoding is decided. It must be safe for
+	// concurrent use (the writer goroutines call it).
+	Count func(name string, delta int64)
 	// DialBackoff is the initial reconnect delay (default 20ms); it
 	// doubles per failure up to DialBackoffCap (default 2s) and resets on
 	// success.
@@ -46,7 +57,8 @@ type MeshStats struct {
 	// Reconnects counts connections re-established after an established
 	// connection to a peer was lost (first connections don't count).
 	Reconnects int64
-	// Dropped counts frames discarded because a peer's queue was full.
+	// Dropped counts frames discarded because a peer's queue was full
+	// (or could not be framed).
 	Dropped int64
 }
 
@@ -55,10 +67,15 @@ type MeshStats struct {
 // carrying this process's frames to it (so each ordered pair of
 // processes has its own connection, and a process owns the connections
 // it writes to).
+//
+// The write path is frame-batched: a writer wakeup drains the peer
+// queue (up to maxWriteBatch frames), delta-encodes the piggybacks
+// against the connection's previous frame (wire.PeerEncoder), and
+// hands the whole batch to the kernel as one vectored write.
 type Mesh struct {
-	cfg     MeshConfig
-	ln      net.Listener
-	handler func(src int, frame []byte)
+	cfg    MeshConfig
+	ln     net.Listener
+	accept func(src int) func(frame []byte)
 
 	peers []*peer // indexed by process id; peers[ID] is nil
 
@@ -72,12 +89,17 @@ type Mesh struct {
 	framesSent, framesRecv atomic.Int64
 	bytesSent, bytesRecv   atomic.Int64
 	reconnects, dropped    atomic.Int64
+	pbBytes                atomic.Int64
 }
+
+// maxWriteBatch bounds how many queued frames one writer wakeup folds
+// into a single vectored write.
+const maxWriteBatch = 128
 
 // peer is the outgoing side toward one process.
 type peer struct {
 	id  int
-	out chan []byte
+	out chan *wire.Frame
 	// connected tracks whether the writer currently holds an established
 	// outbound connection — the liveness bit the admin API reports.
 	connected atomic.Bool
@@ -111,9 +133,14 @@ func (m *Mesh) Peers() []PeerInfo {
 
 // NewMesh builds the mesh around an already-bound listener (so a
 // cluster can bind every address before any process starts dialing).
-// handler runs on a connection's reader goroutine; it must either be
-// fast or hand off, and must be safe for concurrent invocation.
-func NewMesh(cfg MeshConfig, ln net.Listener, handler func(src int, frame []byte)) (*Mesh, error) {
+// accept is invoked once per established inbound connection and returns
+// that connection's frame handler — connection scope is what gives a
+// stateful decoder (wire.NewDecoder) exactly one peer's frame stream,
+// reset on reconnect. The handler runs on the connection's reader
+// goroutine; it must either be fast or hand off, must not retain frame
+// (the buffer is reused for the next read), and handlers of different
+// connections run concurrently.
+func NewMesh(cfg MeshConfig, ln net.Listener, accept func(src int) func(frame []byte)) (*Mesh, error) {
 	n := len(cfg.Addrs)
 	if n < 2 || cfg.ID < 0 || cfg.ID >= n {
 		return nil, fmt.Errorf("transport: invalid mesh id %d of %d", cfg.ID, n)
@@ -131,18 +158,18 @@ func NewMesh(cfg MeshConfig, ln net.Listener, handler func(src int, frame []byte
 		cfg.QueueLen = 8192
 	}
 	m := &Mesh{
-		cfg:     cfg,
-		ln:      ln,
-		handler: handler,
-		peers:   make([]*peer, n),
-		quit:    make(chan struct{}),
-		conns:   map[net.Conn]struct{}{},
+		cfg:    cfg,
+		ln:     ln,
+		accept: accept,
+		peers:  make([]*peer, n),
+		quit:   make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
 	}
 	for j := 0; j < n; j++ {
 		if j == cfg.ID {
 			continue
 		}
-		m.peers[j] = &peer{id: j, out: make(chan []byte, cfg.QueueLen)}
+		m.peers[j] = &peer{id: j, out: make(chan *wire.Frame, cfg.QueueLen)}
 	}
 	return m, nil
 }
@@ -160,29 +187,41 @@ func (m *Mesh) Start() {
 	}
 }
 
-// Send enqueues one frame toward dst. A full queue (peer down long
-// enough to exhaust the buffer) drops the frame — the loss is counted
-// and left to the retransmission layer.
-func (m *Mesh) Send(dst int, frame []byte) {
+// Send enqueues one frame toward dst, taking ownership of it: an
+// acquired frame is returned to the pool once written or dropped
+// (unless a Hook is installed — see SendHook). A full queue (peer down
+// long enough to exhaust the buffer) drops the frame — the loss is
+// counted and left to the retransmission layer.
+func (m *Mesh) Send(dst int, f *wire.Frame) {
 	if m.peers[dst] == nil {
 		panic(fmt.Sprintf("transport: P%d sending to itself", dst))
 	}
 	if h := m.cfg.Hook; h != nil {
-		h(m.cfg.ID, dst, frame, func(f []byte) { m.enqueue(dst, f) })
+		h(m.cfg.ID, dst, f, func(g *wire.Frame) { m.enqueue(dst, g) })
 		return
 	}
-	m.enqueue(dst, frame)
+	m.enqueue(dst, f)
 }
 
 // enqueue places one frame on the peer's outgoing queue (the post-hook
 // half of Send; delayed fault-injected frames land here from timers).
-func (m *Mesh) enqueue(dst int, frame []byte) {
+func (m *Mesh) enqueue(dst int, f *wire.Frame) {
 	p := m.peers[dst]
 	select {
-	case p.out <- frame:
+	case p.out <- f:
 	case <-m.quit:
+		m.release(f)
 	default:
 		m.dropped.Add(1)
+		m.release(f)
+	}
+}
+
+// release hands a frame back to the pool when the mesh owns it — only
+// an unhooked mesh does; a Hook may still hold references.
+func (m *Mesh) release(f *wire.Frame) {
+	if m.cfg.Hook == nil {
+		f.Release()
 	}
 }
 
@@ -212,6 +251,11 @@ func (m *Mesh) Stats() MeshStats {
 		Dropped:    m.dropped.Load(),
 	}
 }
+
+// PiggybackBytes is the total payload-block bytes of piggyback-carrying
+// frames actually written — after delta encoding, so it reflects what
+// traveled, not what an absolute encoding would have cost.
+func (m *Mesh) PiggybackBytes() int64 { return m.pbBytes.Load() }
 
 func (m *Mesh) trackConn(c net.Conn) bool {
 	m.connsMu.Lock()
@@ -251,7 +295,9 @@ func (m *Mesh) acceptLoop() {
 }
 
 // serveConn reads the hello frame identifying the dialing peer, then
-// passes every subsequent frame to the handler.
+// passes every subsequent frame to the connection's handler. The frame
+// buffer is reused between reads, so handlers must finish with (or
+// copy) a frame before returning.
 func (m *Mesh) serveConn(c net.Conn) {
 	defer m.wg.Done()
 	defer m.untrackConn(c)
@@ -259,27 +305,39 @@ func (m *Mesh) serveConn(c net.Conn) {
 	if err != nil || src == m.cfg.ID {
 		return
 	}
+	handler := m.accept(src)
+	var buf []byte
 	for {
-		frame, err := readFrame(c)
+		buf, err = readFrameInto(c, buf)
 		if err != nil {
 			return
 		}
 		m.framesRecv.Add(1)
-		m.bytesRecv.Add(int64(len(frame)) + frameHeader)
-		m.handler(src, frame)
+		m.bytesRecv.Add(int64(len(buf)) + frameHeader)
+		handler(buf)
 	}
 }
 
 // writerLoop owns the outbound connection to one peer: dial (with
 // jittered exponential backoff), send the hello frame, then drain the
-// queue. A write failure keeps the unsent frame and reconnects.
+// queue in batches. Each batch is delta-encoded against the
+// connection's running piggyback state and written with one vectored
+// write; a write failure carries the unwritten tail over to the next
+// connection, where it is re-encoded from scratch (the new
+// connection's decoder has no delta base).
 func (m *Mesh) writerLoop(p *peer) {
 	defer m.wg.Done()
 	rng := rand.New(rand.NewSource(jitterSeed(m.cfg.Seed, m.cfg.ID, p.id)))
 	backoff := m.cfg.DialBackoff
 	everConnected := false
 	var conn net.Conn
-	var carry []byte // frame whose write failed, resent first on reconnect
+	var pe wire.PeerEncoder
+	var carry []*wire.Frame // frames whose write failed, resent first on reconnect
+	var batch []*wire.Frame // frames encoded into the current write
+	var wbuf []byte         // the batch's encoded bytes, length-prefixed
+	var bufs net.Buffers    // one chunk per frame, aliasing wbuf's storage
+	var ends []int64        // cumulative wire bytes through each frame
+	var pbs []int64         // per-frame piggyback payload bytes
 	defer func() {
 		p.connected.Store(false)
 		if conn != nil {
@@ -314,6 +372,9 @@ func (m *Mesh) writerLoop(p *peer) {
 				return
 			}
 			conn = c
+			// A fresh connection means a fresh decoder on the far side:
+			// forget the delta base so the next piggyback goes out whole.
+			pe.Reset()
 			p.connected.Store(true)
 			backoff = m.cfg.DialBackoff // reset on success
 			if everConnected {
@@ -322,25 +383,91 @@ func (m *Mesh) writerLoop(p *peer) {
 			everConnected = true
 		}
 
-		// Next frame: the carried-over one first, else wait on the queue.
-		frame := carry
-		if frame == nil {
+		// Collect a batch: carried-over frames first, else block for one
+		// frame, then drain whatever else is already queued.
+		batch = append(batch[:0], carry...)
+		carry = carry[:0]
+		if len(batch) == 0 {
 			select {
-			case frame = <-p.out:
+			case f := <-p.out:
+				batch = append(batch, f)
 			case <-m.quit:
 				return
 			}
 		}
-		if err := writeFrame(conn, frame); err != nil {
-			carry = frame
+	drain:
+		for len(batch) < maxWriteBatch {
+			select {
+			case f := <-p.out:
+				batch = append(batch, f)
+			default:
+				break drain
+			}
+		}
+
+		// Encode the batch into one buffer: per frame a 4-byte length
+		// prefix, then the (possibly delta-rewritten) wire bytes.
+		wbuf = wbuf[:0]
+		bufs = bufs[:0]
+		ends = ends[:0]
+		pbs = pbs[:0]
+		enc := batch[:0] // frames actually encoded, in order
+		var total int64
+		for _, f := range batch {
+			if f.Len() > MaxFrame && pe.EncodedSize(f) > MaxFrame {
+				// Unframeable: dropping it here (before any delta state
+				// advances) is the queue-overflow failure mode — the
+				// retransmission layer recovers.
+				m.dropped.Add(1)
+				m.release(f)
+				continue
+			}
+			start := len(wbuf)
+			wbuf = append(wbuf, 0, 0, 0, 0)
+			var pb int
+			wbuf, pb = pe.AppendFrame(wbuf, f)
+			binary.BigEndian.PutUint32(wbuf[start:], uint32(len(wbuf)-start-frameHeader))
+			// Chunk slices survive wbuf reallocation: they alias the old
+			// backing array, whose bytes were already written.
+			bufs = append(bufs, wbuf[start:len(wbuf):len(wbuf)])
+			total += int64(len(wbuf) - start)
+			ends = append(ends, total)
+			pbs = append(pbs, int64(pb))
+			enc = append(enc, f)
+		}
+		if len(enc) == 0 {
+			continue
+		}
+
+		n, err := bufs.WriteTo(conn)
+
+		// Account the fully-written prefix; the rest is carried over.
+		sent := 0
+		for sent < len(enc) && ends[sent] <= n {
+			sent++
+		}
+		m.framesSent.Add(int64(sent))
+		m.bytesSent.Add(n)
+		var pbSum int64
+		for i := 0; i < sent; i++ {
+			pbSum += pbs[i]
+			m.release(enc[i])
+		}
+		if pbSum > 0 {
+			m.pbBytes.Add(pbSum)
+			if m.cfg.Count != nil {
+				m.cfg.Count("wire.piggyback_bytes", pbSum)
+			}
+		}
+		if err != nil {
+			// A partially-written frame dies with the connection (the
+			// reader abandons the stream mid-frame); it is re-encoded in
+			// full on the next connection, like the rest of the tail.
+			carry = append(carry[:0], enc[sent:]...)
 			p.connected.Store(false)
 			m.untrackConn(conn)
 			conn = nil
-			continue
 		}
-		carry = nil
-		m.framesSent.Add(1)
-		m.bytesSent.Add(int64(len(frame)) + frameHeader)
 	}
 }
 

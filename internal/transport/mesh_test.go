@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ocsml/internal/wire"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -61,7 +63,11 @@ func meshRig(t *testing.T, n int, handler func(me int) func(src int, frame []byt
 	}
 	meshes := make([]*Mesh, n)
 	for i := 0; i < n; i++ {
-		m, err := NewMesh(MeshConfig{ID: i, Addrs: addrs, Seed: 42}, listeners[i], handler(i))
+		h := handler(i)
+		m, err := NewMesh(MeshConfig{ID: i, Addrs: addrs, Seed: 42}, listeners[i],
+			func(src int) func(frame []byte) {
+				return func(frame []byte) { h(src, frame) }
+			})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +102,7 @@ func TestMeshAllPairsDelivery(t *testing.T) {
 				continue
 			}
 			for k := 0; k < perPair; k++ {
-				m.Send(j, []byte(fmt.Sprintf("m%d", k)))
+				m.Send(j, wire.RawFrame([]byte(fmt.Sprintf("m%d", k))))
 			}
 		}
 	}
@@ -145,13 +151,15 @@ func TestMeshReconnect(t *testing.T) {
 
 	var mu sync.Mutex
 	var recv []string
-	handler := func(src int, frame []byte) {
-		mu.Lock()
-		recv = append(recv, string(frame))
-		mu.Unlock()
+	handler := func(src int) func(frame []byte) {
+		return func(frame []byte) {
+			mu.Lock()
+			recv = append(recv, string(frame))
+			mu.Unlock()
+		}
 	}
 	m0, err := NewMesh(MeshConfig{ID: 0, Addrs: addrs, Seed: 1, DialBackoff: 5 * time.Millisecond},
-		ln0, func(int, []byte) {})
+		ln0, func(int) func([]byte) { return func([]byte) {} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +172,7 @@ func TestMeshReconnect(t *testing.T) {
 	}
 	m1.Start()
 
-	m0.Send(1, []byte("before"))
+	m0.Send(1, wire.RawFrame([]byte("before")))
 	waitFor(t, 5*time.Second, func() bool {
 		mu.Lock()
 		defer mu.Unlock()
@@ -188,7 +196,7 @@ func TestMeshReconnect(t *testing.T) {
 	// flight at the crash may be lost in the OS buffer; later ones must
 	// arrive over the re-established connection).
 	waitFor(t, 10*time.Second, func() bool {
-		m0.Send(1, []byte("after"))
+		m0.Send(1, wire.RawFrame([]byte("after")))
 		time.Sleep(5 * time.Millisecond)
 		mu.Lock()
 		defer mu.Unlock()
@@ -204,7 +212,7 @@ func TestMeshReconnect(t *testing.T) {
 	}
 }
 
-func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for !cond() {

@@ -60,6 +60,12 @@ type NodeConfig struct {
 	// see internal/faultnet).
 	Hook SendHook
 
+	// WireVersion pins the wire format this node speaks: it encodes
+	// frames at that version and rejects inbound frames above it. Zero
+	// means wire.VersionLatest; 1 runs the node as a pure-v1 process in
+	// a mixed-version cluster.
+	WireVersion int
+
 	// WriteBandwidth models the stable-storage service rate in bytes
 	// per second (the real fsync cost of FS comes on top). Default: no
 	// modeled delay.
@@ -88,6 +94,9 @@ type Node struct {
 	cfg  NodeConfig
 	mesh *Mesh
 	rng  *rand.Rand
+	// enc serializes outgoing envelopes into pooled frames; all Sends
+	// run on the loop goroutine, so its scratch state is single-owner.
+	enc wire.Encoder
 
 	inbox chan func()
 	quit  chan struct{}
@@ -117,7 +126,6 @@ type Node struct {
 
 	// Registry-backed series (see registerMetrics).
 	mAppFrames *metrics.Counter
-	mPiggyback *metrics.Counter
 	mRollbacks *metrics.Counter
 	mReplayed  *metrics.Counter
 }
@@ -164,9 +172,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// would alias a pre-crash one and confuse trace pairing and dedup.
 	// Bits 40+: node, 32-39: starting epoch, 0-31: counter.
 	n.idBase = (int64(cfg.ID)+1)<<40 | int64(cfg.Epoch&0xff)<<32
+	n.enc.Version = cfg.WireVersion
 	mesh, err := NewMesh(MeshConfig{
 		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed, Hook: cfg.Hook,
-	}, cfg.Listener, n.onFrame)
+		Count: cfg.Count,
+	}, cfg.Listener, n.acceptConn)
 	if err != nil {
 		return nil, err
 	}
@@ -210,10 +220,10 @@ func (n *Node) registerMetrics() {
 	reg.MustGaugeVec("ocsml_node_storage_queue",
 		"Stable-storage writes queued or in service.", "proc").
 		Attach(func() int64 { return int64(n.storageQ.Load()) }, proc)
+	reg.MustCounterVec("ocsml_wire_piggyback_bytes_total",
+		"Encoded bytes of protocol piggyback actually written to the wire (after delta encoding).", "proc").Attach(m.pbBytes.Load, proc)
 	n.mAppFrames = reg.MustCounterVec("ocsml_wire_app_frames_total",
 		"Application frames sent.", "proc").With(proc)
-	n.mPiggyback = reg.MustCounterVec("ocsml_wire_piggyback_bytes_total",
-		"Encoded bytes of protocol piggyback carried on application messages.", "proc").With(proc)
 	n.mRollbacks = reg.MustCounterVec("ocsml_recovery_rollbacks_total",
 		"Committed rollbacks executed (RB_CMT).", "proc").With(proc)
 	n.mReplayed = reg.MustCounterVec("ocsml_recovery_replayed_msgs_total",
@@ -301,10 +311,20 @@ func (n *Node) post(fn func()) {
 	}
 }
 
+// acceptConn builds one inbound connection's frame handler around a
+// private stateful decoder: v2 delta frames decode against exactly that
+// connection's frame stream, and a reconnect gets a fresh decoder just
+// as the sender's PeerEncoder resets its delta base.
+func (n *Node) acceptConn(src int) func(frame []byte) {
+	dec := wire.NewDecoder(n.cfg.WireVersion)
+	return func(frame []byte) { n.onFrame(dec, frame) }
+}
+
 // onFrame runs on a mesh reader goroutine: decode, then hop onto the
-// loop for delivery.
-func (n *Node) onFrame(src int, frame []byte) {
-	e, err := wire.Decode(frame)
+// loop for delivery. DecodeOwned, because the envelope outlives this
+// call (the loop closure) and the protocols assert value payloads.
+func (n *Node) onFrame(dec *wire.Decoder, frame []byte) {
+	e, err := dec.DecodeOwned(frame)
 	if err != nil {
 		n.decodeErrors.Add(1)
 		n.cfg.Count("wire.decode_errors", 1)
@@ -443,24 +463,18 @@ func (n *Node) Send(e *protocol.Envelope) {
 			MsgID: e.ID, Seq: -1, Tag: e.CtlTag,
 		})
 	}
-	frame, err := wire.Encode(e)
-	if err != nil {
+	f := wire.AcquireFrame()
+	if err := n.enc.EncodeFrame(f, e); err != nil {
+		f.Release()
 		panic(fmt.Sprintf("transport: P%d cannot encode envelope: %v", n.cfg.ID, err))
 	}
 	if e.Kind == protocol.KindApp {
-		p, err := wire.PayloadSize(e)
-		if err != nil {
-			// Encode above succeeded, so the payload is encodable; a
-			// sizing failure is an anomaly worth surfacing, not a
-			// silently-zero metric.
-			n.cfg.Count("wire.size_errors", 1)
-		}
-		n.cfg.Count("wire.piggyback_bytes", int64(p))
 		n.cfg.Count("wire.app_frames", 1)
-		n.mPiggyback.Add(int64(p))
 		n.mAppFrames.Inc()
 	}
-	n.mesh.Send(e.Dst, frame)
+	// Piggyback bytes are accounted by the mesh at write time, where the
+	// per-connection delta encoding decides what actually travels.
+	n.mesh.Send(e.Dst, f)
 }
 
 // Broadcast implements protocol.Env.

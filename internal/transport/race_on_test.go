@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun is not meaningful under
+// -race.
+const raceEnabled = true

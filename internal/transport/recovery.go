@@ -88,20 +88,26 @@ func Coordinate(cfg CoordinatorConfig, ln net.Listener) (RecoveryDecision, error
 	in := make(chan rbFrame, 256)
 	mesh, err := NewMesh(MeshConfig{
 		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed, Hook: cfg.Hook,
-	}, ln, func(src int, frame []byte) {
+	}, ln, func(src int) func(frame []byte) {
 		// Survivors keep retransmitting ordinary pre-crash traffic at this
-		// address; only recovery frames matter to the coordinator.
-		e, err := wire.Decode(frame)
-		if err != nil || !protocol.IsRecoveryTag(e.CtlTag) {
-			return
-		}
-		rb, ok := e.Payload.(protocol.RbMsg)
-		if !ok {
-			return
-		}
-		select {
-		case in <- rbFrame{src: src, tag: e.CtlTag, rb: rb}:
-		default: // full buffer: the rebroadcast will refill it
+		// address; only recovery frames matter to the coordinator. The
+		// decoder is per-connection and stateful, so a survivor's v2
+		// delta-encoded app traffic decodes (and is then discarded)
+		// instead of erroring.
+		dec := wire.NewDecoder(0)
+		return func(frame []byte) {
+			e, err := dec.DecodeOwned(frame)
+			if err != nil || !protocol.IsRecoveryTag(e.CtlTag) {
+				return
+			}
+			rb, ok := e.Payload.(protocol.RbMsg)
+			if !ok {
+				return
+			}
+			select {
+			case in <- rbFrame{src: src, tag: e.CtlTag, rb: rb}:
+			default: // full buffer: the rebroadcast will refill it
+			}
 		}
 	})
 	if err != nil {
@@ -124,7 +130,7 @@ func Coordinate(cfg CoordinatorConfig, ln net.Listener) (RecoveryDecision, error
 			panic(fmt.Sprintf("transport: coordinator cannot encode %s: %v", tag, err))
 		}
 		count("ctl."+tag, 1)
-		mesh.Send(dst, frame)
+		mesh.Send(dst, wire.RawFrame(frame))
 	}
 	eachPeer := func(fn func(j int)) {
 		for j := 0; j < n; j++ {

@@ -31,32 +31,34 @@ type stubPeer struct {
 func newStubPeer(t *testing.T, id int, addrs []string, ln net.Listener, seqs []int, epoch int) *stubPeer {
 	t.Helper()
 	p := &stubPeer{}
-	mesh, err := NewMesh(MeshConfig{ID: id, Addrs: addrs, Seed: int64(id)}, ln, func(src int, frame []byte) {
-		e, err := wire.Decode(frame)
-		if err != nil || !protocol.IsRecoveryTag(e.CtlTag) {
-			return
-		}
-		rb, ok := e.Payload.(protocol.RbMsg)
-		if !ok {
-			return
-		}
-		reply := func(tag string, m protocol.RbMsg) {
-			out, err := wire.Encode(&protocol.Envelope{
-				Src: id, Dst: src, Kind: protocol.KindCtl, CtlTag: tag, Payload: m,
-			})
-			if err != nil {
-				panic(err)
+	mesh, err := NewMesh(MeshConfig{ID: id, Addrs: addrs, Seed: int64(id)}, ln, func(src int) func(frame []byte) {
+		return func(frame []byte) {
+			e, err := wire.Decode(frame)
+			if err != nil || !protocol.IsRecoveryTag(e.CtlTag) {
+				return
 			}
-			p.mesh.Send(src, out)
-		}
-		switch e.CtlTag {
-		case protocol.TagRbBegin:
-			reply(protocol.TagRbLine, protocol.RbMsg{Round: rb.Round, Epoch: epoch, Seqs: seqs})
-		case protocol.TagRbCommit:
-			p.mu.Lock()
-			p.cmt = &rb
-			p.mu.Unlock()
-			reply(protocol.TagRbAck, protocol.RbMsg{Round: rb.Round})
+			rb, ok := e.Payload.(protocol.RbMsg)
+			if !ok {
+				return
+			}
+			reply := func(tag string, m protocol.RbMsg) {
+				out, err := wire.Encode(&protocol.Envelope{
+					Src: id, Dst: src, Kind: protocol.KindCtl, CtlTag: tag, Payload: m,
+				})
+				if err != nil {
+					panic(err)
+				}
+				p.mesh.Send(src, wire.RawFrame(out))
+			}
+			switch e.CtlTag {
+			case protocol.TagRbBegin:
+				reply(protocol.TagRbLine, protocol.RbMsg{Round: rb.Round, Epoch: epoch, Seqs: seqs})
+			case protocol.TagRbCommit:
+				p.mu.Lock()
+				p.cmt = &rb
+				p.mu.Unlock()
+				reply(protocol.TagRbAck, protocol.RbMsg{Round: rb.Round})
+			}
 		}
 	})
 	if err != nil {
@@ -163,7 +165,7 @@ func TestCoordinateRebroadcastThroughLoss(t *testing.T) {
 	// initial RB_BGN and the initial RB_CMT are lost, so only the
 	// rebroadcast path can complete the round.
 	var drops sync.Map
-	hook := func(src, dst int, frame []byte, deliver func(frame []byte)) {
+	hook := func(src, dst int, frame *wire.Frame, deliver func(frame *wire.Frame)) {
 		c, _ := drops.LoadOrStore(dst, new(atomic.Int32))
 		if c.(*atomic.Int32).Add(1) <= 2 {
 			return

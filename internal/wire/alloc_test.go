@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"testing"
+
+	"ocsml/internal/core"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+)
+
+// allocsPerRun asserts a steady-state allocation bound. The exact-zero
+// assertions are skipped under the race detector, whose instrumentation
+// allocates.
+func allocsPerRun(t *testing.T, what string, max float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skipf("allocation accounting is not meaningful under -race")
+	}
+	fn() // warm pools and grow scratch buffers before measuring
+	if n := testing.AllocsPerRun(200, fn); n > max {
+		t.Errorf("%s: %.1f allocs/op, want <= %.0f", what, n, max)
+	}
+}
+
+// TestEncodeFrameZeroAlloc: steady-state encode of an app-message frame
+// (the hot path: one per application send) performs zero allocations.
+func TestEncodeFrameZeroAlloc(t *testing.T) {
+	set := protocol.NewProcSet(64)
+	set.Add(5)
+	set.Add(41)
+	e := pbEnvelope(1, 0, core.Piggyback{Csn: 12, Stat: core.Tentative, TentSet: set})
+	var enc Encoder
+	f := AcquireFrame()
+	defer f.Release()
+	allocsPerRun(t, "Encoder.EncodeFrame(app+piggyback)", 0, func() {
+		if err := enc.EncodeFrame(f, e); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAppendFrameZeroAlloc: the per-connection delta rewrite (one per
+// frame actually written) performs zero allocations in steady state,
+// both on the delta path and on the full-block path.
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	set := protocol.NewProcSet(64)
+	set.Add(5)
+	e := pbEnvelope(1, 0, core.Piggyback{Csn: 12, Stat: core.Tentative, TentSet: set})
+	var enc Encoder
+	var pe PeerEncoder
+	f := AcquireFrame()
+	defer f.Release()
+	if err := enc.EncodeFrame(f, e); err != nil {
+		t.Fatal(err)
+	}
+	var wbuf []byte
+	allocsPerRun(t, "PeerEncoder.AppendFrame(delta)", 0, func() {
+		wbuf, _ = pe.AppendFrame(wbuf[:0], f)
+	})
+	allocsPerRun(t, "PeerEncoder.AppendFrame(full)", 0, func() {
+		pe.Reset()
+		wbuf, _ = pe.AppendFrame(wbuf[:0], f)
+	})
+}
+
+// TestDecodeZeroAlloc: steady-state decode of app-message frames — full
+// piggyback blocks, delta blocks, and ACK control frames — performs zero
+// allocations with the view-returning Decode.
+func TestDecodeZeroAlloc(t *testing.T) {
+	full, delta := v2ChainFrames(t)
+	dec := NewDecoder(0)
+	if _, err := dec.Decode(full); err != nil {
+		t.Fatal(err)
+	}
+	allocsPerRun(t, "Decoder.Decode(full piggyback)", 0, func() {
+		if _, err := dec.Decode(full); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocsPerRun(t, "Decoder.Decode(piggyback delta)", 0, func() {
+		if _, err := dec.Decode(delta); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ack, err := Encode(&protocol.Envelope{
+		ID: 7, Src: 0, Dst: 1, Kind: protocol.KindCtl, CtlTag: reliable.AckTag,
+		Payload: reliable.Ack{ID: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocsPerRun(t, "Decoder.Decode(ack)", 0, func() {
+		if _, err := dec.Decode(ack); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -12,6 +13,10 @@ import (
 // corpusDir is the checked-in seed corpus for FuzzWireRoundTrip; go test
 // runs every entry through the fuzz target even without -fuzz.
 const corpusDir = "testdata/fuzz/FuzzWireRoundTrip"
+
+// corpusDirV2 seeds FuzzDecodeV2, whose entries are (base, frame) pairs
+// exercising the stateful v2 delta decoder.
+const corpusDirV2 = "testdata/fuzz/FuzzDecodeV2"
 
 // corpusEntries returns the minimized corpus: the canonical encodings of
 // every sample envelope plus the interesting malformed shapes the fuzzer
@@ -31,16 +36,56 @@ func corpusEntries(t testing.TB) [][]byte {
 			entries = append(entries, b[:2])           // header only
 		}
 	}
+	full, delta := v2ChainFrames(t)
 	entries = append(entries,
-		[]byte{},               // empty frame
-		[]byte{Version},        // version byte only
-		[]byte{Version + 1, 0}, // unsupported version
-		[]byte{Version, 7},     // invalid kind
+		[]byte{},                     // empty frame
+		[]byte{Version},              // version byte only
+		[]byte{Version2, 0},          // v2 header only
+		[]byte{VersionLatest + 1, 0}, // unsupported version
+		[]byte{Version, 7},           // invalid kind
 		[]byte{Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9}, // unknown payload discriminator
 		// A control-tag length varint far beyond MaxCtlTag.
 		[]byte{Version, 1, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0x7f},
+		full,                 // v2 frame, absolute piggyback block
+		delta,                // v2 delta block (stateless decode: ErrDeltaBase)
+		delta[:len(delta)-1], // truncated delta block
 	)
 	return entries
+}
+
+// corpusEntriesV2 returns the (base, frame) pairs seeding FuzzDecodeV2:
+// a valid delta chain plus the interesting broken chains — no base, a
+// non-piggyback base, a cross-epoch base, and corrupted delta bytes.
+func corpusEntriesV2(t testing.TB) [][2][]byte {
+	full, delta := v2ChainFrames(t)
+	ack, err := Encode(sampleEnvelopes()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc Encoder
+	f := AcquireFrame()
+	defer f.Release()
+	e5 := sampleEnvelopes()[0]
+	e5.Epoch = 5
+	if err := enc.EncodeFrame(f, e5); err != nil {
+		t.Fatal(err)
+	}
+	fullE5 := append([]byte(nil), f.Bytes()...)
+
+	corrupt := append([]byte(nil), delta...)
+	corrupt[len(corrupt)-1] ^= 0xff
+
+	return [][2][]byte{
+		{full, delta},                // happy chain
+		{full, full},                 // two absolutes
+		{nil, full},                  // absolute needs no base
+		{nil, delta},                 // delta without base
+		{ack, delta},                 // base frame carries no piggyback
+		{fullE5, delta},              // base from another epoch
+		{full, corrupt},              // corrupted flip bytes
+		{full, delta[:len(delta)-2]}, // truncated delta
+		{delta, full},                // delta first, then recover
+	}
 }
 
 // TestCorpusIsCurrent fails when the checked-in corpus drifts from the
@@ -49,30 +94,43 @@ func TestCorpusIsCurrent(t *testing.T) {
 	if os.Getenv("WIRE_REGEN_CORPUS") != "" {
 		writeCorpus(t)
 	}
-	want := map[string]bool{}
-	for _, b := range corpusEntries(t) {
-		want[corpusFile(b)] = true
-	}
-	files, err := filepath.Glob(filepath.Join(corpusDir, "seed-*"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := map[string]bool{}
-	for _, f := range files {
-		raw, err := os.ReadFile(f)
+	for dir, want := range corpusWant(t) {
+		files, err := filepath.Glob(filepath.Join(dir, "seed-*"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		got[string(raw)] = true
-	}
-	for content := range want {
-		if !got[content] {
-			t.Fatalf("corpus missing an entry; regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire")
+		got := map[string]bool{}
+		for _, f := range files {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[string(raw)] = true
+		}
+		for content := range want {
+			if !got[content] {
+				t.Fatalf("%s: corpus missing an entry; regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire", dir)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: corpus has %d entries, generator produces %d; regenerate with WIRE_REGEN_CORPUS=1", dir, len(got), len(want))
 		}
 	}
-	if len(got) != len(want) {
-		t.Fatalf("corpus has %d entries, generator produces %d; regenerate with WIRE_REGEN_CORPUS=1", len(got), len(want))
+}
+
+// corpusWant maps each corpus directory to its generated file contents.
+func corpusWant(t testing.TB) map[string]map[string]bool {
+	want := map[string]map[string]bool{
+		corpusDir:   {},
+		corpusDirV2: {},
 	}
+	for _, b := range corpusEntries(t) {
+		want[corpusDir][corpusFile(b)] = true
+	}
+	for _, p := range corpusEntriesV2(t) {
+		want[corpusDirV2][corpusFile2(p[0], p[1])] = true
+	}
+	return want
 }
 
 // corpusFile renders one entry in the go-fuzz corpus file format.
@@ -80,29 +138,33 @@ func corpusFile(b []byte) string {
 	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
 }
 
+// corpusFile2 renders a two-parameter fuzz entry (base, frame).
+func corpusFile2(a, b []byte) string {
+	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(a)) + ")\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+}
+
 func writeCorpus(t *testing.T) {
 	t.Helper()
-	if err := os.RemoveAll(corpusDir); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	seen := map[string]bool{}
-	i := 0
-	for _, b := range corpusEntries(t) {
-		content := corpusFile(b)
-		if seen[content] {
-			continue
-		}
-		seen[content] = true
-		name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d", i))
-		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+	for dir, want := range corpusWant(t) {
+		if err := os.RemoveAll(dir); err != nil {
 			t.Fatal(err)
 		}
-		i++
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		contents := make([]string, 0, len(want))
+		for content := range want {
+			contents = append(contents, content)
+		}
+		sort.Strings(contents)
+		for i, content := range contents {
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d corpus entries to %s", len(contents), dir)
 	}
-	t.Logf("wrote %d corpus entries to %s", i, corpusDir)
 }
 
 // TestCorpusDecodesWithoutPanic runs every checked-in entry through the
@@ -116,24 +178,63 @@ func TestCorpusDecodesWithoutPanic(t *testing.T) {
 		t.Fatal("no corpus entries checked in")
 	}
 	for _, f := range files {
-		raw, err := os.ReadFile(f)
-		if err != nil {
-			t.Fatal(err)
+		args := parseCorpusFile(t, f)
+		if len(args) != 1 {
+			t.Fatalf("%s: want 1 fuzz argument, got %d", f, len(args))
 		}
-		lines := strings.SplitN(string(raw), "\n", 3)
-		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
-			t.Fatalf("%s: not a go fuzz corpus file", f)
-		}
-		payload := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
-		s, err := strconv.Unquote(payload)
-		if err != nil {
-			t.Fatalf("%s: %v", f, err)
-		}
-		if e, err := Decode([]byte(s)); err == nil {
+		if e, err := Decode(args[0]); err == nil {
 			// Whatever decodes must be canonical.
 			if _, err := Encode(e); err != nil {
 				t.Fatalf("%s: decoded envelope does not re-encode: %v", f, err)
 			}
 		}
 	}
+}
+
+// TestCorpusV2DecodesWithoutPanic replays every checked-in (base, frame)
+// pair through a stateful decoder chain.
+func TestCorpusV2DecodesWithoutPanic(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDirV2, "seed-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no v2 corpus entries checked in")
+	}
+	for _, f := range files {
+		args := parseCorpusFile(t, f)
+		if len(args) != 2 {
+			t.Fatalf("%s: want 2 fuzz arguments, got %d", f, len(args))
+		}
+		dec := NewDecoder(0)
+		dec.Decode(args[0])
+		if e, err := dec.DecodeOwned(args[1]); err == nil {
+			if _, err := Encode(e); err != nil {
+				t.Fatalf("%s: decoded envelope does not re-encode: %v", f, err)
+			}
+		}
+	}
+}
+
+// parseCorpusFile decodes a go-fuzz corpus file into its []byte args.
+func parseCorpusFile(t *testing.T, path string) [][]byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("%s: not a go fuzz corpus file", path)
+	}
+	var args [][]byte
+	for _, line := range lines[1:] {
+		payload := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+		s, err := strconv.Unquote(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		args = append(args, []byte(s))
+	}
+	return args
 }

@@ -1,0 +1,385 @@
+package wire
+
+import (
+	"fmt"
+
+	"ocsml/internal/core"
+	"ocsml/internal/des"
+	"ocsml/internal/protocol"
+	"ocsml/internal/reliable"
+)
+
+// Decoder parses the frames of one connection. It keeps the
+// per-connection state v2 delta frames decode against (the last
+// piggyback seen) and reuses its own storage across calls, so the
+// steady-state decode of an application frame performs no allocations.
+//
+// Decode returns a view: the envelope and its payload point into the
+// decoder and stay valid only until the next Decode/DecodeOwned call.
+// DecodeOwned returns an independent envelope with the canonical value
+// payloads the protocols assert on. A Decoder is not safe for
+// concurrent use; the transport runs one per inbound connection.
+//
+// The zero Decoder is ready to use and accepts up to VersionLatest;
+// NewDecoder(1) builds a v1-only decoder for mixed-version clusters.
+type Decoder struct {
+	maxVersion int
+
+	r    reader
+	env  protocol.Envelope
+	cur  core.Piggyback
+	ctl  core.CtlMsg
+	ack  reliable.Ack
+	rb   protocol.RbMsg
+	seqs []int
+
+	flips []int
+	delta core.PiggybackDelta
+
+	// Delta base: the last piggyback decoded on this connection.
+	prevOK    bool
+	prevEpoch int
+	prev      core.Piggyback
+}
+
+// NewDecoder returns a connection-scoped decoder accepting frame
+// versions up to maxVersion; 0 means VersionLatest. A v1-only decoder
+// (maxVersion 1) rejects every v2 frame with ErrVersion — the
+// mixed-version safety property: an old node never misparses a new
+// frame.
+func NewDecoder(maxVersion int) *Decoder {
+	if maxVersion < 0 || maxVersion > VersionLatest {
+		panic(fmt.Sprintf("wire: decoder version %d out of range [0,%d]", maxVersion, VersionLatest))
+	}
+	return &Decoder{maxVersion: maxVersion}
+}
+
+// Decode parses one envelope from data. The entire input must be
+// consumed: trailing bytes are an error (frames are already delimited
+// by the transport's length prefix). Corrupt input returns an error,
+// never panics; a failed decode does not advance the delta base.
+//
+// The returned envelope is a zero-allocation view into the decoder:
+// it, its payload pointer, and any slices they carry are invalidated by
+// the next Decode/DecodeOwned call. Callers that retain the envelope
+// must use DecodeOwned.
+func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
+	d.r = reader{b: data}
+	r := &d.r
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	max := d.maxVersion
+	if max == 0 {
+		max = VersionLatest
+	}
+	if ver < Version || int(ver) > max {
+		return nil, fmt.Errorf("%w: got %d, want 1..%d", ErrVersion, ver, max)
+	}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind > byte(protocol.KindCtl) {
+		return nil, fmt.Errorf("wire: invalid kind %d", kind)
+	}
+	e := &d.env
+	*e = protocol.Envelope{Kind: protocol.Kind(kind)}
+	if e.ID, err = r.varint(); err != nil {
+		return nil, err
+	}
+	src, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if src > protocol.MaxUniverse || dst > protocol.MaxUniverse {
+		return nil, fmt.Errorf("wire: endpoint out of range %d->%d", src, dst)
+	}
+	e.Src, e.Dst = int(src), int(dst)
+	if e.Bytes, err = r.varint(); err != nil {
+		return nil, err
+	}
+	sentAt, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	e.SentAt = des.Time(sentAt)
+	epoch, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if epoch > 1<<30 {
+		return nil, fmt.Errorf("wire: epoch %d out of range", epoch)
+	}
+	e.Epoch = int(epoch)
+	tagLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if tagLen > MaxCtlTag {
+		return nil, fmt.Errorf("wire: control tag length %d exceeds %d", tagLen, MaxCtlTag)
+	}
+	tag, err := r.bytes(int(tagLen))
+	if err != nil {
+		return nil, err
+	}
+	e.CtlTag = internTag(tag)
+	if e.App.Seq, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if e.App.Bytes, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if e.App.Tag, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if e.Payload, err = decodePayload(r, d, ver); err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(data)-r.off)
+	}
+	// The frame decoded in full: if it carried a piggyback (absolute or
+	// reconstructed from a delta), it becomes the connection's new base.
+	if _, ok := e.Payload.(*core.Piggyback); ok {
+		d.prev.Csn = d.cur.Csn
+		d.prev.Stat = d.cur.Stat
+		d.prev.TentSet.CopyFrom(d.cur.TentSet)
+		d.prevEpoch = e.Epoch
+		d.prevOK = true
+	}
+	return e, nil
+}
+
+// DecodeOwned decodes like Decode but returns an independent envelope
+// whose payload is in its canonical value form — core.Piggyback with a
+// cloned tentSet, value core.CtlMsg / reliable.Ack / protocol.RbMsg
+// (nil Seqs when empty) — exactly what Encode produced on the far side.
+// Use it wherever the envelope outlives the next decode; the zero-copy
+// Decode is for hot paths that finish with the envelope immediately.
+func (d *Decoder) DecodeOwned(data []byte) (*protocol.Envelope, error) {
+	v, err := d.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	e := new(protocol.Envelope)
+	*e = *v
+	switch p := v.Payload.(type) {
+	case nil:
+	case *core.Piggyback:
+		e.Payload = core.Piggyback{Csn: p.Csn, Stat: p.Stat, TentSet: p.TentSet.Clone()}
+	case *core.CtlMsg:
+		e.Payload = *p
+	case *reliable.Ack:
+		e.Payload = *p
+	case *protocol.RbMsg:
+		rb := *p
+		if len(rb.Seqs) == 0 {
+			rb.Seqs = nil
+		} else {
+			rb.Seqs = append([]int(nil), rb.Seqs...)
+		}
+		e.Payload = rb
+	default:
+		panic(fmt.Sprintf("wire: decoder produced unregistered payload %T", v.Payload))
+	}
+	return e, nil
+}
+
+// decodePayload parses the payload block into the decoder's reusable
+// payload storage and returns a pointer view of it. The v2-only delta
+// block reconstructs an absolute piggyback from the connection's base.
+func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
+	pt, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch pt {
+	case ptNone:
+		return nil, nil
+	case ptPiggyback:
+		csn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if csn > 1<<40 {
+			return nil, fmt.Errorf("wire: piggyback csn %d out of range", csn)
+		}
+		stat, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if stat > byte(core.Tentative) {
+			return nil, fmt.Errorf("wire: invalid piggyback status %d", stat)
+		}
+		set := d.cur.TentSet
+		k, err := set.DecodeInto(r.b[r.off:])
+		if err != nil {
+			return nil, err
+		}
+		r.off += k
+		d.cur = core.Piggyback{Csn: int(csn), Stat: core.Status(stat), TentSet: set}
+		return &d.cur, nil
+	case ptCtlMsg:
+		csn, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if csn > 1<<40 {
+			return nil, fmt.Errorf("wire: control csn %d out of range", csn)
+		}
+		d.ctl = core.CtlMsg{Csn: int(csn)}
+		return &d.ctl, nil
+	case ptAck:
+		id, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		d.ack = reliable.Ack{ID: id}
+		return &d.ack, nil
+	case ptRb:
+		round, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		line, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if line > 1<<40 {
+			return nil, fmt.Errorf("wire: recovery line %d out of range", line)
+		}
+		epoch, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if epoch > 1<<30 {
+			return nil, fmt.Errorf("wire: recovery epoch %d out of range", epoch)
+		}
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > maxRbSeqs {
+			return nil, fmt.Errorf("wire: recovery report length %d out of range", count)
+		}
+		d.seqs = d.seqs[:0]
+		for i := uint64(0); i < count; i++ {
+			q, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if q > 1<<40 {
+				return nil, fmt.Errorf("wire: recovery seq %d out of range", q)
+			}
+			d.seqs = append(d.seqs, int(q))
+		}
+		seqs := d.seqs
+		if len(seqs) == 0 {
+			seqs = nil
+		}
+		d.rb = protocol.RbMsg{Round: round, Line: int(line), Epoch: int(epoch), Seqs: seqs}
+		return &d.rb, nil
+	case ptPiggybackDelta:
+		if ver < Version2 {
+			return nil, fmt.Errorf("%w: delta block in v%d frame", ErrPayload, ver)
+		}
+		if !d.prevOK {
+			return nil, ErrDeltaBase
+		}
+		if d.env.Epoch != d.prevEpoch {
+			return nil, fmt.Errorf("%w: base epoch %d, frame epoch %d", ErrDeltaBase, d.prevEpoch, d.env.Epoch)
+		}
+		dcsn, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		if dcsn < -(1<<40) || dcsn > 1<<40 {
+			return nil, fmt.Errorf("wire: piggyback csn delta %d out of range", dcsn)
+		}
+		stat, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if stat > byte(core.Tentative) {
+			return nil, fmt.Errorf("wire: invalid piggyback status %d", stat)
+		}
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n := d.prev.TentSet.Universe()
+		if count > uint64(n) {
+			return nil, fmt.Errorf("wire: piggyback delta flips %d bits in universe %d", count, n)
+		}
+		// Gap-decoded ascending indices; bounds-checked against the
+		// base's universe so Apply below cannot fail on range.
+		d.flips = d.flips[:0]
+		idx := -1
+		for i := uint64(0); i < count; i++ {
+			g, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if g > uint64(n) {
+				return nil, fmt.Errorf("wire: piggyback delta gap %d out of range", g)
+			}
+			if idx < 0 {
+				idx = int(g)
+			} else {
+				idx += 1 + int(g)
+			}
+			if idx >= n {
+				return nil, fmt.Errorf("wire: piggyback delta flips bit %d outside universe [0,%d)", idx, n)
+			}
+			d.flips = append(d.flips, idx)
+		}
+		d.delta.DCsn = int(dcsn)
+		d.delta.Stat = core.Status(stat)
+		d.delta.Flips = d.flips
+		d.cur.Csn = d.prev.Csn
+		d.cur.Stat = d.prev.Stat
+		d.cur.TentSet.CopyFrom(d.prev.TentSet)
+		if err := d.delta.Apply(&d.cur); err != nil {
+			return nil, err
+		}
+		if d.cur.Csn > 1<<40 {
+			return nil, fmt.Errorf("wire: piggyback csn %d out of range", d.cur.Csn)
+		}
+		return &d.cur, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrPayload, pt)
+	}
+}
+
+// internTag maps the control tags the in-tree protocols use onto their
+// compile-time string constants, so decoding a control frame does not
+// allocate. Unknown tags fall back to a fresh string.
+func internTag(b []byte) string {
+	switch string(b) {
+	case "":
+		return ""
+	case core.TagBGN:
+		return core.TagBGN
+	case core.TagREQ:
+		return core.TagREQ
+	case core.TagEND:
+		return core.TagEND
+	case reliable.AckTag:
+		return reliable.AckTag
+	case protocol.TagRbBegin:
+		return protocol.TagRbBegin
+	case protocol.TagRbLine:
+		return protocol.TagRbLine
+	case protocol.TagRbCommit:
+		return protocol.TagRbCommit
+	case protocol.TagRbAck:
+		return protocol.TagRbAck
+	}
+	return string(b)
+}

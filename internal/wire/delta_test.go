@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ocsml/internal/core"
+	"ocsml/internal/protocol"
+)
+
+// pbEnvelope builds a deterministic app envelope carrying pb.
+func pbEnvelope(id int, epoch int, pb core.Piggyback) *protocol.Envelope {
+	return &protocol.Envelope{
+		ID: int64(id), Src: 0, Dst: 1, Kind: protocol.KindApp,
+		Bytes: 1024 + 6, SentAt: 99, Epoch: epoch,
+		App:     protocol.AppMsg{Seq: int64(id), Bytes: 1024, Tag: 7},
+		Payload: pb,
+	}
+}
+
+// TestDeltaChainMatchesAbsolute is the delta-chain property test: an
+// arbitrary sequence of piggybacks pushed through the v2 delta path
+// (Encoder -> PeerEncoder -> stateful Decoder), with reconnects, epoch
+// bumps, and universe changes interleaved, must decode to exactly the
+// absolute envelopes that the stateless v1 codec round-trips — and
+// PeerEncoder.EncodedSize must predict every appended frame's length,
+// full-block fallbacks included.
+func TestDeltaChainMatchesAbsolute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9157))
+	var enc Encoder
+	var pe PeerEncoder
+	dec := NewDecoder(0)
+	f := AcquireFrame()
+	defer f.Release()
+
+	n := 24
+	pb := core.Piggyback{TentSet: protocol.NewProcSet(n)}
+	epoch := 0
+	deltas, fulls := 0, 0
+	var stream []byte
+	for i := 0; i < 500; i++ {
+		switch ev := rng.Intn(20); {
+		case ev == 0: // reconnect: both sides restart
+			pe.Reset()
+			dec = NewDecoder(0)
+		case ev == 1: // cluster-wide rollback bumps the epoch
+			epoch++
+		case ev == 2: // membership change: new universe, no delta exists
+			n = 8 + rng.Intn(60)
+			fresh := protocol.NewProcSet(n)
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					fresh.Add(j)
+				}
+			}
+			pb.TentSet = fresh
+		}
+		// Evolve the protocol state the way OCSML does: slow csn growth,
+		// a status bit, a handful of tentSet flips.
+		pb.Csn += rng.Intn(2)
+		pb.Stat = core.Status(rng.Intn(2))
+		for k := rng.Intn(3); k > 0; k-- {
+			pb.TentSet.Toggle(rng.Intn(n))
+		}
+
+		e := pbEnvelope(i, epoch, core.Piggyback{
+			Csn: pb.Csn, Stat: pb.Stat, TentSet: pb.TentSet.Clone(),
+		})
+		if err := enc.EncodeFrame(f, e); err != nil {
+			t.Fatalf("step %d: encode: %v", i, err)
+		}
+		want := pe.EncodedSize(f)
+		stream, _ = pe.AppendFrame(stream[:0], f)
+		if len(stream) != want {
+			t.Fatalf("step %d: EncodedSize predicted %d, AppendFrame wrote %d", i, want, len(stream))
+		}
+		if len(stream) < f.Len() {
+			deltas++
+		} else {
+			fulls++
+		}
+
+		got, err := dec.DecodeOwned(stream)
+		if err != nil {
+			t.Fatalf("step %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("step %d: chain decode mismatch:\n got %#v\nwant %#v", i, got, e)
+		}
+		// The same envelope through the stateless v1 codec must agree.
+		v1, err := Encode(e)
+		if err != nil {
+			t.Fatalf("step %d: v1 encode: %v", i, err)
+		}
+		abs, err := Decode(v1)
+		if err != nil {
+			t.Fatalf("step %d: v1 decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, abs) {
+			t.Fatalf("step %d: delta chain and v1 disagree:\n got %#v\nwant %#v", i, got, abs)
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("no frame was delta-encoded; the chain never exercised the v2 path")
+	}
+	if fulls == 0 {
+		t.Fatal("no full-block fallback seen; reconnect/epoch events did not fire")
+	}
+	t.Logf("chain: %d delta frames, %d full frames", deltas, fulls)
+}
+
+// TestDeltaIsChangedBitsNotUniverse pins the acceptance bound: at N=64,
+// a steady-state piggyback delta costs O(changed bits), not O(N) — the
+// absolute block carries an 8-byte bitmap, the delta a couple of bytes.
+func TestDeltaIsChangedBitsNotUniverse(t *testing.T) {
+	var enc Encoder
+	var pe PeerEncoder
+	f := AcquireFrame()
+	defer f.Release()
+
+	set := protocol.NewProcSet(64)
+	set.Add(3)
+	first := pbEnvelope(1, 0, core.Piggyback{Csn: 9, Stat: core.Tentative, TentSet: set})
+	if err := enc.EncodeFrame(f, first); err != nil {
+		t.Fatal(err)
+	}
+	if _, pbLen := pe.AppendFrame(nil, f); pbLen < 12 {
+		// 1 discriminator + 1 csn + 1 stat + 1 universe + 8 bitmap bytes.
+		t.Fatalf("absolute block = %d bytes, want >= 12 at N=64", pbLen)
+	}
+
+	next := set.Clone()
+	next.Add(17) // one changed bit
+	second := pbEnvelope(2, 0, core.Piggyback{Csn: 9, Stat: core.Tentative, TentSet: next})
+	if err := enc.EncodeFrame(f, second); err != nil {
+		t.Fatal(err)
+	}
+	if _, pbLen := pe.AppendFrame(nil, f); pbLen > 5 {
+		// 1 discriminator + 1 dcsn + 1 stat + 1 count + 1 gap index.
+		t.Fatalf("one-bit delta block = %d bytes, want <= 5", pbLen)
+	}
+}
+
+// TestV1EncoderMatchesPackageEncode: an Encoder negotiated down to v1
+// must emit byte-identical frames to the stateless package Encode, and
+// the PeerEncoder must pass them through verbatim (never delta-rewritten)
+// while still accounting their piggyback bytes.
+func TestV1EncoderMatchesPackageEncode(t *testing.T) {
+	enc := Encoder{Version: Version}
+	var pe PeerEncoder
+	f := AcquireFrame()
+	defer f.Release()
+	for i, e := range sampleEnvelopes() {
+		want, err := Encode(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.EncodeFrame(f, e); err != nil {
+			t.Fatalf("envelope %d: EncodeFrame: %v", i, err)
+		}
+		if !bytes.Equal(f.Bytes(), want) {
+			t.Fatalf("envelope %d: v1 EncodeFrame differs from Encode:\n got %x\nwant %x", i, f.Bytes(), want)
+		}
+		out, pbLen := pe.AppendFrame(nil, f)
+		if !bytes.Equal(out, want) {
+			t.Fatalf("envelope %d: v1 AppendFrame rewrote the frame", i)
+		}
+		if _, ok := e.Payload.(core.Piggyback); ok {
+			p, err := PayloadSize(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pbLen != p {
+				t.Fatalf("envelope %d: piggyback accounting %d, want payload size %d", i, pbLen, p)
+			}
+		} else if pbLen != 0 {
+			t.Fatalf("envelope %d: non-piggyback frame accounted %d piggyback bytes", i, pbLen)
+		}
+	}
+}
+
+// TestDecoderV1OnlyRejectsV2 is the mixed-version guarantee: a decoder
+// capped at v1 fails every v2 frame — full or delta — with ErrVersion
+// and never panics or misparses.
+func TestDecoderV1OnlyRejectsV2(t *testing.T) {
+	full, delta := v2ChainFrames(t)
+	old := NewDecoder(Version)
+	for name, frame := range map[string][]byte{"v2 full": full, "v2 delta": delta} {
+		if _, err := old.Decode(frame); !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: v1-only decode err = %v, want ErrVersion", name, err)
+		}
+		if _, err := old.DecodeOwned(frame); !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: v1-only DecodeOwned err = %v, want ErrVersion", name, err)
+		}
+	}
+	// Sanity: the same decoder still accepts v1 traffic.
+	v1, err := Encode(sampleEnvelopes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Decode(v1); err != nil {
+		t.Fatalf("v1-only decoder rejected a v1 frame: %v", err)
+	}
+}
+
+// TestDeltaNeedsBase: a delta frame is undecodable without the preceding
+// full block — by a fresh stateful decoder, after an epoch change, and by
+// the stateless package Decode.
+func TestDeltaNeedsBase(t *testing.T) {
+	full, delta := v2ChainFrames(t)
+
+	if _, err := NewDecoder(0).Decode(delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("fresh decoder: err = %v, want ErrDeltaBase", err)
+	}
+	if _, err := Decode(delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("stateless Decode: err = %v, want ErrDeltaBase", err)
+	}
+
+	// A base from another epoch is not a base.
+	var enc Encoder
+	var pe PeerEncoder
+	f := AcquireFrame()
+	defer f.Release()
+	set := protocol.NewProcSet(8)
+	if err := enc.EncodeFrame(f, pbEnvelope(1, 5, core.Piggyback{Csn: 1, TentSet: set})); err != nil {
+		t.Fatal(err)
+	}
+	baseE5, _ := pe.AppendFrame(nil, f)
+	dec := NewDecoder(0)
+	if _, err := dec.Decode(baseE5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("cross-epoch delta: err = %v, want ErrDeltaBase", err)
+	}
+	if _, err := NewDecoder(0).Decode(full); err != nil {
+		t.Fatalf("full v2 frame needs no base, got %v", err)
+	}
+}
+
+// TestEpochBumpForcesFullBlock: the sender side of the epoch rule — a
+// piggyback after an epoch change travels as a full block even though the
+// delta base is present and the universe unchanged.
+func TestEpochBumpForcesFullBlock(t *testing.T) {
+	var enc Encoder
+	var pe PeerEncoder
+	f := AcquireFrame()
+	defer f.Release()
+	set := protocol.NewProcSet(32)
+	set.Add(1)
+
+	if err := enc.EncodeFrame(f, pbEnvelope(1, 0, core.Piggyback{Csn: 1, TentSet: set})); err != nil {
+		t.Fatal(err)
+	}
+	pe.AppendFrame(nil, f)
+
+	if err := enc.EncodeFrame(f, pbEnvelope(2, 1, core.Piggyback{Csn: 1, TentSet: set})); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := pe.AppendFrame(nil, f)
+	if len(out) != f.Len() {
+		t.Fatalf("post-epoch-bump frame was delta-encoded (%d < %d bytes)", len(out), f.Len())
+	}
+
+	// Same epoch again: deltas resume.
+	if err := enc.EncodeFrame(f, pbEnvelope(3, 1, core.Piggyback{Csn: 2, TentSet: set})); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = pe.AppendFrame(nil, f)
+	if len(out) >= f.Len() {
+		t.Fatal("delta encoding did not resume after the base caught up with the epoch")
+	}
+}
+
+// v2ChainFrames returns a v2 full piggyback frame and a delta frame whose
+// base is that full frame, as one PeerEncoder emits them.
+func v2ChainFrames(t testing.TB) (full, delta []byte) {
+	t.Helper()
+	var enc Encoder
+	var pe PeerEncoder
+	f := AcquireFrame()
+	defer f.Release()
+
+	set := protocol.NewProcSet(16)
+	set.Add(2)
+	if err := enc.EncodeFrame(f, pbEnvelope(1, 0, core.Piggyback{Csn: 3, Stat: core.Tentative, TentSet: set})); err != nil {
+		t.Fatal(err)
+	}
+	full, _ = pe.AppendFrame(nil, f)
+
+	next := set.Clone()
+	next.Add(9)
+	if err := enc.EncodeFrame(f, pbEnvelope(2, 0, core.Piggyback{Csn: 4, Stat: core.Tentative, TentSet: next})); err != nil {
+		t.Fatal(err)
+	}
+	delta, _ = pe.AppendFrame(nil, f)
+	if len(delta) >= len(full) {
+		t.Fatalf("second frame (%d bytes) was not delta-encoded against the first (%d bytes)", len(delta), len(full))
+	}
+	return full, delta
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ocsml/internal/core"
+	"ocsml/internal/protocol"
+)
+
+// Encoder serializes envelopes into reusable Frames. Unlike the
+// package-level Encode, which always produces a fresh v1 buffer, an
+// Encoder reuses the frame's storage (allocation-free in steady state)
+// and can emit v2 frames, whose piggybacks the per-connection
+// PeerEncoder may rewrite into deltas at write time.
+//
+// An Encoder is not safe for concurrent use; the transport runs one per
+// node, on the node's loop goroutine.
+type Encoder struct {
+	// Version selects the frame format: Version for pure v1 output
+	// (a cluster negotiated down for mixed-version operation), Version2
+	// for delta-capable frames. Zero means VersionLatest.
+	Version int
+}
+
+func (enc *Encoder) version() (byte, error) {
+	switch enc.Version {
+	case 0:
+		return VersionLatest, nil
+	case Version:
+		return Version, nil
+	case Version2:
+		return Version2, nil
+	}
+	return 0, fmt.Errorf("%w: encoder configured for %d", ErrVersion, enc.Version)
+}
+
+// EncodeFrame serializes e into f, reusing f's storage. The frame holds
+// a self-contained encoding (absolute piggyback block) plus the sidecar
+// PeerEncoder.AppendFrame needs to delta-rewrite it per connection. On
+// error the frame is left empty.
+func (enc *Encoder) EncodeFrame(f *Frame, e *protocol.Envelope) error {
+	ver, err := enc.version()
+	if err != nil {
+		return err
+	}
+	f.ver = ver
+	f.hasPB = false
+	buf, err := appendHeader(f.data[:0], e, ver)
+	if err != nil {
+		f.data = f.data[:0]
+		return err
+	}
+	// The sidecar is captured for every version: tryDelta refuses v1
+	// frames, so a v1 frame always travels as its absolute block, but the
+	// write-time piggyback-byte accounting still sees it.
+	if pb, ok := e.Payload.(core.Piggyback); ok {
+		f.hasPB = true
+		f.pbOff = len(buf)
+		f.epoch = e.Epoch
+		f.pb.Csn = pb.Csn
+		f.pb.Stat = pb.Stat
+		f.pb.TentSet.CopyFrom(pb.TentSet)
+	}
+	buf, err = appendPayload(buf, e.Payload)
+	if err != nil {
+		f.data = f.data[:0]
+		f.hasPB = false
+		return err
+	}
+	f.data = buf
+	return nil
+}
+
+// PeerEncoder is the delta state of one peer connection: the last
+// piggyback written on it. It rewrites v2 piggyback frames into delta
+// blocks when that is strictly smaller, and must be Reset on every
+// (re)connect so the first piggyback of a connection always travels as
+// a full block — the receiving Decoder starts with no base.
+//
+// The state advances only on AppendFrame, i.e. only for bytes actually
+// handed to the connection's writer, so dropped or re-sent frames
+// upstream of the writer cannot desynchronize the two sides.
+type PeerEncoder struct {
+	has     bool
+	epoch   int
+	pb      core.Piggyback
+	delta   core.PiggybackDelta
+	scratch []byte
+}
+
+// Reset forgets the delta base. Call when (re)establishing the
+// connection this encoder writes to.
+func (pe *PeerEncoder) Reset() { pe.has = false }
+
+// AppendFrame appends f's wire encoding onto dst — rewriting the
+// piggyback block into a delta against the previous piggyback written
+// through this PeerEncoder when that is smaller — and returns the
+// extended buffer plus the number of payload-block bytes written (the
+// piggyback overhead accounting for this frame; 0 for frames without
+// a piggyback).
+func (pe *PeerEncoder) AppendFrame(dst []byte, f *Frame) ([]byte, int) {
+	if !f.hasPB {
+		return append(dst, f.data...), 0
+	}
+	full := len(f.data) - f.pbOff
+	if delta, ok := pe.tryDelta(f); ok && len(delta) < full {
+		dst = append(dst, f.data[:f.pbOff]...)
+		dst = append(dst, delta...)
+		pe.commit(f)
+		return dst, len(delta)
+	}
+	dst = append(dst, f.data...)
+	pe.commit(f)
+	return dst, full
+}
+
+// EncodedSize returns the exact number of bytes the next
+// AppendFrame(dst, f) would append, without advancing the delta state.
+func (pe *PeerEncoder) EncodedSize(f *Frame) int {
+	if !f.hasPB {
+		return len(f.data)
+	}
+	full := len(f.data) - f.pbOff
+	if delta, ok := pe.tryDelta(f); ok && len(delta) < full {
+		return f.pbOff + len(delta)
+	}
+	return len(f.data)
+}
+
+// tryDelta encodes f's piggyback as a delta block into pe.scratch. It
+// fails (full block required) when there is no base, the epoch changed,
+// the frame is not delta-capable, or the universes differ.
+func (pe *PeerEncoder) tryDelta(f *Frame) ([]byte, bool) {
+	if !pe.has || pe.epoch != f.epoch || f.ver < Version2 {
+		return nil, false
+	}
+	if !pe.delta.From(pe.pb, f.pb) {
+		return nil, false
+	}
+	buf := append(pe.scratch[:0], ptPiggybackDelta)
+	buf = binary.AppendVarint(buf, int64(pe.delta.DCsn))
+	buf = append(buf, byte(pe.delta.Stat))
+	buf = binary.AppendUvarint(buf, uint64(len(pe.delta.Flips)))
+	// Gap encoding: first index absolute, then (gap-1) to the next —
+	// ascending runs of flipped bits cost one byte each.
+	prev := -1
+	for _, fl := range pe.delta.Flips {
+		if prev < 0 {
+			buf = binary.AppendUvarint(buf, uint64(fl))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(fl-prev-1))
+		}
+		prev = fl
+	}
+	pe.scratch = buf
+	return buf, true
+}
+
+func (pe *PeerEncoder) commit(f *Frame) {
+	pe.has = true
+	pe.epoch = f.epoch
+	pe.pb.Csn = f.pb.Csn
+	pe.pb.Stat = f.pb.Stat
+	pe.pb.TentSet.CopyFrom(f.pb.TentSet)
+}

@@ -42,3 +42,57 @@ func FuzzWireRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeV2 drives the stateful v2 decoder with an arbitrary (base,
+// frame) pair: the base may or may not establish a delta base, the frame
+// may be absolute, a delta, or garbage. Nothing panics; whatever decodes
+// must canonicalize — the zero-copy view, the owned copy, and a v1
+// re-encode of the owned copy all agree — and a v1-capped decoder must
+// reject anything that is not a v1 frame.
+func FuzzDecodeV2(f *testing.F) {
+	for _, p := range corpusEntriesV2(f) {
+		f.Add(p[0], p[1])
+	}
+
+	f.Fuzz(func(t *testing.T, base, frame []byte) {
+		dec := NewDecoder(0)
+		dec.Decode(base) // errors are fine; it may seed a delta base
+		view, err := dec.Decode(frame)
+
+		// The owned decode over an identical chain must agree exactly.
+		own := NewDecoder(0)
+		own.Decode(base)
+		owned, errOwned := own.DecodeOwned(frame)
+		if (err == nil) != (errOwned == nil) {
+			t.Fatalf("Decode err=%v but DecodeOwned err=%v", err, errOwned)
+		}
+		if err == nil {
+			bare := *view
+			bare.Payload = nil
+			bareOwned := *owned
+			bareOwned.Payload = nil
+			if !reflect.DeepEqual(bare, bareOwned) {
+				t.Fatalf("view and owned headers disagree:\n view %#v\nowned %#v", bare, bareOwned)
+			}
+			// The owned envelope is canonical: a v1 re-encode round-trips.
+			out, err := Encode(owned)
+			if err != nil {
+				t.Fatalf("re-encode of decoded envelope failed: %v (%#v)", err, owned)
+			}
+			again, err := Decode(out)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(owned, again) {
+				t.Fatalf("round trip changed envelope:\n got %#v\nwant %#v", again, owned)
+			}
+		}
+
+		// A v1-capped decoder accepts v1 frames only — ErrVersion, never a
+		// panic or misparse, on anything else.
+		old := NewDecoder(Version)
+		if _, err := old.Decode(frame); err == nil && frame[0] != Version {
+			t.Fatalf("v1-only decoder accepted a frame with version byte %d", frame[0])
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled gates the exact-zero allocation assertions: the race
+// detector instruments allocations, so AllocsPerRun is not meaningful
+// under -race.
+const raceEnabled = true

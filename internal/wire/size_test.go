@@ -60,10 +60,13 @@ func randomEnvelope(rng *rand.Rand) *protocol.Envelope {
 	return e
 }
 
-// TestEncodedSizePropertyRandomized is the satellite property test: for
+// TestEncodedSizePropertyRandomized is the v1 size property: for
 // randomized envelopes, EncodedSize must exactly match the bytes Encode
 // produces, PayloadSize must account exactly for the payload suffix, and
-// the round trip must be lossless.
+// the round trip must be lossless. The v2 extension of this property —
+// PeerEncoder.EncodedSize against AppendFrame over delta chains,
+// reconnect full-frame fallback included — is TestDeltaChainMatchesAbsolute
+// in delta_test.go.
 func TestEncodedSizePropertyRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(421))
 	for i := 0; i < 5000; i++ {

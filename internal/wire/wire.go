@@ -33,25 +33,36 @@ import (
 	"reflect"
 
 	"ocsml/internal/core"
-	"ocsml/internal/des"
 	"ocsml/internal/protocol"
 	"ocsml/internal/reliable"
 )
 
-// Version is the current frame format version, the first byte of every
-// encoded envelope.
-const Version = 1
+// Frame format versions, the first byte of every encoded envelope.
+//
+// Version (v1) is the original stateless format: every frame is
+// self-contained. Version2 keeps the identical header and payload
+// encodings but additionally permits the ptPiggybackDelta payload block,
+// which encodes a piggyback as the difference against the previous
+// piggyback written on the same connection (see Encoder/PeerEncoder/
+// Decoder). The package-level Encode/Append always emit v1, so stateless
+// producers (tests, the recovery coordinator) stay universally decodable.
+const (
+	Version       = 1
+	Version2      = 2
+	VersionLatest = Version2
+)
 
 // MaxCtlTag bounds the control-tag string length on the wire.
 const MaxCtlTag = 64
 
 // Payload type discriminators.
 const (
-	ptNone      = 0 // Payload == nil
-	ptPiggyback = 1 // core.Piggyback
-	ptCtlMsg    = 2 // core.CtlMsg
-	ptAck       = 3 // reliable.Ack
-	ptRb        = 4 // protocol.RbMsg (recovery coordinator)
+	ptNone           = 0 // Payload == nil
+	ptPiggyback      = 1 // core.Piggyback, absolute
+	ptCtlMsg         = 2 // core.CtlMsg
+	ptAck            = 3 // reliable.Ack
+	ptRb             = 4 // protocol.RbMsg (recovery coordinator)
+	ptPiggybackDelta = 5 // core.Piggyback as a delta (v2 frames only)
 )
 
 // maxRbSeqs bounds the manifest length an RB_LINE report may carry.
@@ -64,6 +75,10 @@ var (
 	ErrVersion   = errors.New("wire: unsupported frame version")
 	ErrPayload   = errors.New("wire: unknown payload type")
 	ErrTrailing  = errors.New("wire: trailing bytes after envelope")
+	// ErrDeltaBase rejects a piggyback-delta frame arriving before any
+	// full piggyback established the connection's base state (or through
+	// the stateless Decode, which never has one).
+	ErrDeltaBase = errors.New("wire: piggyback delta without a base frame")
 )
 
 // PayloadKind names a payload's kind: "nil" for the empty payload,
@@ -84,6 +99,16 @@ func Encode(e *protocol.Envelope) ([]byte, error) {
 
 // Append serializes the envelope onto buf, returning the extended buffer.
 func Append(buf []byte, e *protocol.Envelope) ([]byte, error) {
+	buf, err := appendHeader(buf, e, Version)
+	if err != nil {
+		return nil, err
+	}
+	return appendPayload(buf, e.Payload)
+}
+
+// appendHeader writes the version byte and the envelope header (all
+// fields up to but excluding the payload block), identical in v1 and v2.
+func appendHeader(buf []byte, e *protocol.Envelope, ver byte) ([]byte, error) {
 	if e.Src < 0 || e.Dst < 0 {
 		return nil, fmt.Errorf("wire: negative endpoint %d->%d", e.Src, e.Dst)
 	}
@@ -93,7 +118,7 @@ func Append(buf []byte, e *protocol.Envelope) ([]byte, error) {
 	if e.Epoch < 0 {
 		return nil, fmt.Errorf("wire: negative epoch %d", e.Epoch)
 	}
-	buf = append(buf, Version, byte(e.Kind))
+	buf = append(buf, ver, byte(e.Kind))
 	buf = binary.AppendVarint(buf, e.ID)
 	buf = binary.AppendUvarint(buf, uint64(e.Src))
 	buf = binary.AppendUvarint(buf, uint64(e.Dst))
@@ -105,7 +130,7 @@ func Append(buf []byte, e *protocol.Envelope) ([]byte, error) {
 	buf = binary.AppendVarint(buf, e.App.Seq)
 	buf = binary.AppendVarint(buf, e.App.Bytes)
 	buf = binary.AppendUvarint(buf, e.App.Tag)
-	return appendPayload(buf, e.Payload)
+	return buf, nil
 }
 
 func appendPayload(buf []byte, payload any) ([]byte, error) {
@@ -220,167 +245,12 @@ func (r *reader) bytes(n int) ([]byte, error) {
 // trailing bytes are an error (frames are already delimited by the
 // transport's length prefix). Corrupt input returns an error, never
 // panics.
+//
+// Decode is stateless, so it accepts any self-contained frame — v1, or
+// v2 with an absolute piggyback — but rejects v2 delta frames with
+// ErrDeltaBase; those need the connection-scoped Decoder that tracked
+// the base. Payloads come back in their canonical value forms.
 func Decode(data []byte) (*protocol.Envelope, error) {
-	r := &reader{b: data}
-	ver, err := r.byte()
-	if err != nil {
-		return nil, err
-	}
-	if ver != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, ver, Version)
-	}
-	kind, err := r.byte()
-	if err != nil {
-		return nil, err
-	}
-	if kind > byte(protocol.KindCtl) {
-		return nil, fmt.Errorf("wire: invalid kind %d", kind)
-	}
-	e := &protocol.Envelope{Kind: protocol.Kind(kind)}
-	if e.ID, err = r.varint(); err != nil {
-		return nil, err
-	}
-	src, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	dst, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if src > protocol.MaxUniverse || dst > protocol.MaxUniverse {
-		return nil, fmt.Errorf("wire: endpoint out of range %d->%d", src, dst)
-	}
-	e.Src, e.Dst = int(src), int(dst)
-	if e.Bytes, err = r.varint(); err != nil {
-		return nil, err
-	}
-	sentAt, err := r.varint()
-	if err != nil {
-		return nil, err
-	}
-	e.SentAt = des.Time(sentAt)
-	epoch, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if epoch > 1<<30 {
-		return nil, fmt.Errorf("wire: epoch %d out of range", epoch)
-	}
-	e.Epoch = int(epoch)
-	tagLen, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if tagLen > MaxCtlTag {
-		return nil, fmt.Errorf("wire: control tag length %d exceeds %d", tagLen, MaxCtlTag)
-	}
-	tag, err := r.bytes(int(tagLen))
-	if err != nil {
-		return nil, err
-	}
-	e.CtlTag = string(tag)
-	if e.App.Seq, err = r.varint(); err != nil {
-		return nil, err
-	}
-	if e.App.Bytes, err = r.varint(); err != nil {
-		return nil, err
-	}
-	if e.App.Tag, err = r.uvarint(); err != nil {
-		return nil, err
-	}
-	if e.Payload, err = decodePayload(r); err != nil {
-		return nil, err
-	}
-	if r.off != len(data) {
-		return nil, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(data)-r.off)
-	}
-	return e, nil
-}
-
-func decodePayload(r *reader) (any, error) {
-	pt, err := r.byte()
-	if err != nil {
-		return nil, err
-	}
-	switch pt {
-	case ptNone:
-		return nil, nil
-	case ptPiggyback:
-		csn, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if csn > 1<<40 {
-			return nil, fmt.Errorf("wire: piggyback csn %d out of range", csn)
-		}
-		stat, err := r.byte()
-		if err != nil {
-			return nil, err
-		}
-		if stat > byte(core.Tentative) {
-			return nil, fmt.Errorf("wire: invalid piggyback status %d", stat)
-		}
-		set, k, err := protocol.DecodeProcSet(r.b[r.off:])
-		if err != nil {
-			return nil, err
-		}
-		r.off += k
-		return core.Piggyback{Csn: int(csn), Stat: core.Status(stat), TentSet: set}, nil
-	case ptCtlMsg:
-		csn, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if csn > 1<<40 {
-			return nil, fmt.Errorf("wire: control csn %d out of range", csn)
-		}
-		return core.CtlMsg{Csn: int(csn)}, nil
-	case ptAck:
-		id, err := r.varint()
-		if err != nil {
-			return nil, err
-		}
-		return reliable.Ack{ID: id}, nil
-	case ptRb:
-		round, err := r.varint()
-		if err != nil {
-			return nil, err
-		}
-		line, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if line > 1<<40 {
-			return nil, fmt.Errorf("wire: recovery line %d out of range", line)
-		}
-		epoch, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if epoch > 1<<30 {
-			return nil, fmt.Errorf("wire: recovery epoch %d out of range", epoch)
-		}
-		count, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if count > maxRbSeqs {
-			return nil, fmt.Errorf("wire: recovery report length %d out of range", count)
-		}
-		var seqs []int
-		for i := uint64(0); i < count; i++ {
-			q, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if q > 1<<40 {
-				return nil, fmt.Errorf("wire: recovery seq %d out of range", q)
-			}
-			seqs = append(seqs, int(q))
-		}
-		return protocol.RbMsg{Round: round, Line: int(line), Epoch: int(epoch), Seqs: seqs}, nil
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrPayload, pt)
-	}
+	var d Decoder
+	return d.DecodeOwned(data)
 }

@@ -105,9 +105,13 @@ func TestSizeAccounting(t *testing.T) {
 }
 
 func TestPiggybackRealBytes(t *testing.T) {
-	// The simulator charges 5 + ceil(N/8) synthetic bytes per piggyback;
-	// the real codec must stay in the same ballpark (varints make it
-	// smaller for small csn values).
+	// The simulator charges piggyFixedBytes + tentSet.ByteSize() synthetic
+	// bytes per piggyback: a fixed-width csn (4) + stat (1) + ceil(N/8)
+	// bitmap bytes — 7 for N=16. The real v1 block trades the fixed csn
+	// for a varint but adds a discriminator and a universe uvarint the
+	// simulator omits, so it lands in the same ballpark. On a live
+	// connection the v2 delta rewrite usually undercuts both with an
+	// O(changed bits) block; see delta_test.go.
 	set := protocol.NewProcSet(16)
 	set.Add(0)
 	set.Add(15)
@@ -120,7 +124,8 @@ func TestPiggybackRealBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1 discriminator + 1 csn + 1 stat + 1 universe + 2 bits = 6 bytes.
+	// 1 discriminator + 1 csn varint + 1 stat + 1 universe uvarint +
+	// ceil(16/8) = 2 bitmap bytes: 6 bytes total.
 	if p != 6 {
 		t.Fatalf("piggyback payload size = %d, want 6", p)
 	}
