@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos ctl soak fuzz bench-wire
+.PHONY: all build test race vet fmt lint staticcheck vuln generate chaos ctl soak fuzz bench-wire bench-durability
 
 all: build test
 
@@ -79,3 +79,15 @@ bench-wire:
 	$(GO) test -run NONE -bench 'BenchmarkWire(Encode|Decode)' -benchmem ./internal/wire/
 	$(GO) test -run NONE -bench BenchmarkMeshThroughput -benchmem ./internal/transport/
 	$(GO) run ./cmd/experiments -quick -json .
+
+# bench-durability is the stable-storage perf gate: the group-commit and
+# crash-point unit tests (the fsyncs/finalize < 0.5 assert lives in
+# TestGroupCommitAmortizesFsyncs), then the sustained-write experiments
+# D1 (finalizes/sec, fsyncs/finalize by batch depth) and D2
+# (recovery-replay time vs log length, incremental asserted
+# byte-identical to full-snapshot recovery), which write the
+# BENCH_<date>.json headline; CI uploads the JSON as an artifact.
+bench-durability:
+	$(GO) test -run 'TestGroupCommit|TestCrashPointMatrix|TestIncrementalChain' -count=1 -v ./internal/fsstore/
+	$(GO) test -run NONE -bench 'BenchmarkD(1|2)' ./
+	$(GO) run ./cmd/experiments -quick -id D1,D2 -json .

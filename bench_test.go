@@ -268,6 +268,19 @@ func BenchmarkW2_MeshThroughput(b *testing.B) {
 	})
 }
 
+func BenchmarkD1_DurabilityGroupCommit(b *testing.B) {
+	benchExperiment(b, "D1", func(tab *harness.Table) (string, float64) {
+		i := lastRowWhere(tab, 0, "8")
+		return "durability-fsyncs-per-finalize-depth8", cell(tab, i, 2)
+	})
+}
+
+func BenchmarkD2_RecoveryReplay(b *testing.B) {
+	benchExperiment(b, "D2", func(tab *harness.Table) (string, float64) {
+		return "durability-replay-ms", cell(tab, len(tab.Rows)-1, 1)
+	})
+}
+
 // BenchmarkProtocolThroughput measures raw simulator throughput for the
 // core protocol: virtual events per real second on a dense workload.
 func BenchmarkProtocolThroughput(b *testing.B) {

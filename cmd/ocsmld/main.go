@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -81,6 +82,8 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run one seeded fault-injection round (drops, delays, partitions, kill+restart) and verify the consistency invariants")
 		chaosFor  = flag.Duration("chaos-for", 1500*time.Millisecond, "fault-phase length for -chaos")
 		adminAddr = flag.String("admin-addr", "", "listen address for the admin control plane (status/manifest/recovery/checkpoint/metrics; see cmd/ocsmlctl)")
+		gcEvery   = flag.Duration("gc-interval", 0, "storage GC period: prune finalized checkpoints below the globally durable S_k watermark (needs -datadir; 0 disables)")
+		groupWin  = flag.Duration("group-window", 0, "group-commit flush window: how long a finalize lingers for batch-mates before forcing its fsync (0 = flush immediately)")
 	)
 	flag.Parse()
 
@@ -101,10 +104,10 @@ func main() {
 		return
 	}
 	if *spawnAll {
-		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut, *adminAddr)
+		runCluster(*n, *seed, *datadir, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut, *adminAddr, *gcEvery, *groupWin)
 		return
 	}
-	runDaemon(*id, *peers, *datadir, *resume, *recoverF, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut, *adminAddr)
+	runDaemon(*id, *peers, *datadir, *resume, *recoverF, *seed, opt, wl, *bw, *reliableF, *runFor, *drain, *jsonOut, *adminAddr, *gcEvery, *groupWin)
 }
 
 // runChaos is -chaos: one seeded fault-injection round against a live
@@ -146,10 +149,14 @@ func runChaos(n int, seed int64, datadir string, faultFor time.Duration, jsonOut
 // runCluster is -spawn-all: the whole cluster in one OS process, nodes
 // talking over real localhost TCP.
 func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload.Config,
-	bw int64, rel bool, runFor, drain time.Duration, jsonOut bool, adminAddr string) {
+	bw int64, rel bool, runFor, drain time.Duration, jsonOut bool, adminAddr string,
+	gcEvery, groupWin time.Duration) {
+	fsOpts := fsstore.DefaultOptions()
+	fsOpts.GroupWindow = groupWin
 	c, err := transport.NewCluster(transport.ClusterConfig{
 		N: n, Seed: seed, Datadir: datadir, Opt: opt, Reliable: rel,
 		Workload: wl, WriteBandwidth: bw, Timeout: runFor, Drain: drain,
+		FSOptions: fsOpts, GCInterval: gcEvery,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -216,7 +223,8 @@ func runCluster(n int, seed int64, datadir string, opt core.Options, wl workload
 // runDaemon hosts one process of a cluster whose other members are
 // separate ocsmld invocations (possibly on other machines).
 func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, seed int64, opt core.Options,
-	wl workload.Config, bw int64, rel bool, runFor, drain time.Duration, jsonOut bool, adminAddr string) {
+	wl workload.Config, bw int64, rel bool, runFor, drain time.Duration, jsonOut bool, adminAddr string,
+	gcEvery, groupWin time.Duration) {
 	if peerList == "" {
 		fatalf("daemon mode needs -peers (or use -spawn-all)")
 	}
@@ -240,7 +248,9 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 	var fs *fsstore.Store
 	var err error
 	if datadir != "" {
-		if fs, err = fsstore.Open(datadir, id, n); err != nil {
+		fsOpts := fsstore.DefaultOptions()
+		fsOpts.GroupWindow = groupWin
+		if fs, err = fsstore.OpenWith(datadir, id, n, fsOpts); err != nil {
 			fatalf("%v", err)
 		}
 		fs.SetMetrics(fsstore.NewStoreMetrics(reg, id))
@@ -348,6 +358,37 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 		fmt.Fprintf(os.Stderr, "ocsmld: P%d admin control plane on %s\n", id, srv.Addr())
 	}
 
+	// Daemon-mode GC: the datadir is shared, so the globally durable
+	// line S_k is readable here too — the intersection of every
+	// process's manifest. Each tick prunes this process's own store
+	// below it; peers never touch each other's directories.
+	gcQuit := make(chan struct{})
+	var gcWG sync.WaitGroup
+	if fs != nil && gcEvery > 0 {
+		gcWG.Add(1)
+		go func() {
+			defer gcWG.Done()
+			tick := time.NewTicker(gcEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-gcQuit:
+					return
+				case <-tick.C:
+				}
+				wm, err := fsstore.LastCompleteSeq(datadir, n)
+				if err != nil || wm <= 0 {
+					continue // a peer's manifest is missing or torn; retry next tick
+				}
+				if err := fs.GCTo(wm); err != nil {
+					count("fsstore.gc_errors", 1)
+					continue
+				}
+				count("fsstore.gc_sweeps", 1)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	completed := false
@@ -367,6 +408,8 @@ func runDaemon(id int, peerList, datadir string, resume int, recoverFlag bool, s
 	// requests, let queued stable-storage writes reach the disk, then
 	// close the mesh. A SIGTERM therefore never abandons an in-flight
 	// finalization the manifest was about to record.
+	close(gcQuit)
+	gcWG.Wait()
 	if srv != nil {
 		//ocsml:errsink shutdown path; a failed drain still force-closes the listener
 		srv.Close()

@@ -140,7 +140,8 @@ func isSeed(fn *types.Func) bool {
 		return false
 	}
 	if sig.Recv() == nil {
-		return fn.Pkg().Path() == "os" && (fn.Name() == "Rename" || fn.Name() == "Remove")
+		return fn.Pkg().Path() == "os" &&
+			(fn.Name() == "Rename" || fn.Name() == "Remove" || fn.Name() == "Truncate")
 	}
 	t := sig.Recv().Type()
 	if p, ok := t.(*types.Pointer); ok {
@@ -149,7 +150,7 @@ func isSeed(fn *types.Func) bool {
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Pkg() != nil &&
 		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File" &&
-		fn.Name() == "Sync"
+		(fn.Name() == "Sync" || fn.Name() == "Truncate")
 }
 
 // An oblig is one unread durability error: where it was produced and by

@@ -53,3 +53,11 @@ func inLiteral(p string) func() {
 		os.Remove(p) // want `error from os.Remove discarded in inLiteral \(func literal\)`
 	}
 }
+
+func tailCut(p string) {
+	os.Truncate(p, 0) // want `error from os.Truncate discarded in tailCut`
+}
+
+func fileTailCut(f *os.File) {
+	_ = f.Truncate(128) // want `error from File.Truncate assigned to _ in fileTailCut`
+}

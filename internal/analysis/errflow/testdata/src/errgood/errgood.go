@@ -81,3 +81,10 @@ func switched(a, b string) error {
 func passedAlong(a, b string, report func(error)) {
 	report(os.Rename(a, b))
 }
+
+func truncateTail(f *os.File, size int64) error {
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}

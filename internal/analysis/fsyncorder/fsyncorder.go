@@ -13,7 +13,12 @@
 //     on an *os.File after the rename (the rename itself is durable);
 //   - os.WriteFile is banned outright in the checked packages: it
 //     truncates in place, so a crash mid-write leaves a torn file that
-//     the atomic temp-file protocol exists to prevent.
+//     the atomic temp-file protocol exists to prevent;
+//   - every file truncation (os.Truncate or (*os.File).Truncate — the
+//     segmented log cuts interrupted group-commit tails on Open) must be
+//     followed, in the same function body, by a Sync() on an *os.File:
+//     an unsynced truncation can reappear after a crash, resurrecting
+//     the torn tail it was supposed to remove.
 //
 // A rename that intentionally departs from the discipline carries
 // //ocsml:nofsync <why> on the call line or the line above.
@@ -48,6 +53,7 @@ const (
 	evFileSync = iota
 	evRename
 	evDirSync
+	evTruncate
 )
 
 type event struct {
@@ -97,6 +103,10 @@ func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncD
 		switch {
 		case isOsFunc(pass, sel, "Rename"):
 			events = append(events, event{call.Pos(), evRename})
+		case isOsFunc(pass, sel, "Truncate"):
+			events = append(events, event{call.Pos(), evTruncate})
+		case sel.Sel.Name == "Truncate" && isFileReceiver(pass, sel):
+			events = append(events, event{call.Pos(), evTruncate})
 		case isOsFunc(pass, sel, "WriteFile"):
 			if !vetkit.HasDirective(dirs, pass.Fset, call.Pos(), "nofsync") {
 				pass.Reportf(call.Pos(), "os.WriteFile truncates in place and tears on crash: use the temp-file + fsync + rename protocol (writeAtomic)")
@@ -110,6 +120,22 @@ func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncD
 	})
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 	for i, ev := range events {
+		if ev.kind == evTruncate {
+			if vetkit.HasDirective(dirs, pass.Fset, ev.pos, "nofsync") {
+				continue
+			}
+			synced := false
+			for _, after := range events[i+1:] {
+				if after.kind == evFileSync {
+					synced = true
+					break
+				}
+			}
+			if !synced {
+				pass.Reportf(ev.pos, "Truncate in %s not followed by a File.Sync: an unsynced truncation can resurrect the torn tail after a crash", fd.Name.Name)
+			}
+			continue
+		}
 		if ev.kind != evRename {
 			continue
 		}

@@ -33,3 +33,21 @@ func declaredException(dir string) error {
 	//ocsml:nofsync fixture: scratch file, durability not required
 	return os.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
 }
+
+func truncateWithoutSync(path string) error {
+	return os.Truncate(path, 128) // want "not followed by a File.Sync"
+}
+
+func truncateFileWithoutSync(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Truncate(128) // want "not followed by a File.Sync"
+}
+
+func truncateDeclaredException(path string) error {
+	//ocsml:nofsync fixture: scratch file, durability not required
+	return os.Truncate(path, 0)
+}

@@ -31,6 +31,18 @@ func writeAtomic(path string, data []byte) error {
 	return syncDir(dir)
 }
 
+func truncateTail(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {

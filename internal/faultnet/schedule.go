@@ -68,21 +68,44 @@ func (p Partition) String() string {
 	return fmt.Sprintf("part P%d<->P%d %v", p.A, p.B, p.Window)
 }
 
+// Tear kinds: crash debris planted in the victim's fsstore directory
+// before its restart, one per commit boundary of the durability engine.
+// Recovery must ignore each of them (internal/fsstore on Open).
+const (
+	// TearNone plants nothing.
+	TearNone = ""
+	// TearTemp: partially written ".tmp-" file — a crash between the
+	// atomic-write temp file and its rename.
+	TearTemp = "temp"
+	// TearSegHeader: truncated header of a fresh segment file — a crash
+	// while rotating to a new segment, before any manifest references it.
+	TearSegHeader = "seghdr"
+	// TearSegTail: garbage appended beyond the active segment's durable
+	// size — a crash mid group-commit batch, after some bytes hit disk
+	// but before the batch's single fsync and manifest commit.
+	TearSegTail = "segtail"
+	// TearGCSeg: a valid but unreferenced segment file — a crash between
+	// the GC's manifest commit and the unlink of the dead segment.
+	TearGCSeg = "gcseg"
+)
+
 // Crash kills a process at At, keeps it down for Down, then restarts it
 // from the durable recovery line.
 type Crash struct {
 	Proc int
 	At   time.Duration
 	Down time.Duration
-	// TearTemp leaves a partially written temp file in the victim's
-	// fsstore directory before the restart — the debris of a crash
-	// between the atomic-write temp file and its rename. Recovery must
-	// ignore it (internal/fsstore cleans it on Open).
-	TearTemp bool
+	// Tear selects the crash debris (one of the Tear* kinds above) left
+	// in the victim's store before the restart.
+	Tear string
 }
 
 func (c Crash) String() string {
-	return fmt.Sprintf("crash P%d at=%v down=%v tear=%v", c.Proc, c.At, c.Down, c.TearTemp)
+	tear := c.Tear
+	if tear == TearNone {
+		tear = "none"
+	}
+	return fmt.Sprintf("crash P%d at=%v down=%v tear=%s", c.Proc, c.At, c.Down, tear)
 }
 
 // Schedule is one complete, reproducible fault plan.
@@ -183,11 +206,27 @@ func Generate(seed int64, p Profile) *Schedule {
 	for i := 0; i < p.Crashes; i++ {
 		slot := float64(dur) * 0.60 / float64(p.Crashes)
 		at := float64(dur)*0.35 + slot*(float64(i)+0.2+rng.Float64()*0.5)
+		// Half the crashes land on a clean store; the rest cycle through
+		// the commit-boundary debris kinds so every seed range covers the
+		// whole crash-point matrix.
+		tear := TearNone
+		if p.Tear {
+			switch rng.Intn(8) {
+			case 0, 1:
+				tear = TearTemp
+			case 2:
+				tear = TearSegHeader
+			case 3:
+				tear = TearSegTail
+			case 4:
+				tear = TearGCSeg
+			}
+		}
 		s.Crashes = append(s.Crashes, Crash{
-			Proc:     rng.Intn(p.N),
-			At:       roundMs(time.Duration(at)),
-			Down:     roundMs(150*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))),
-			TearTemp: p.Tear && rng.Intn(2) == 0,
+			Proc: rng.Intn(p.N),
+			At:   roundMs(time.Duration(at)),
+			Down: roundMs(150*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))),
+			Tear: tear,
 		})
 	}
 

@@ -1,0 +1,613 @@
+package fsstore
+
+// Tests of the pipelined durability engine: group-commit fsync
+// amortization, manifest rollback on a failed commit, incremental
+// chain replay, the S_k GC watermark, and the segment crash-point
+// matrix (torn header, torn batch tail, orphan segment).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/metrics"
+)
+
+// writeLegacyRecord fabricates a pre-segmented-log per-seq record pair
+// (state json + log jsonl) directly on disk.
+func writeLegacyRecord(t *testing.T, datadir string, r checkpoint.Record) {
+	t.Helper()
+	dir := ProcDir(datadir, r.Proc)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st := stateOf(r)
+	data, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("ckpt_%06d.json", r.Seq)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, m := range r.Log {
+		if err := enc.Encode(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("log_%06d.jsonl", r.Seq)), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitAmortizesFsyncs is the acceptance gate of the engine:
+// at batch depth >= 8 the fsyncs-per-finalize ratio must drop below
+// 0.5, and the fsync counter must count actual syscalls (segment sync +
+// manifest temp sync + directory sync per commit), not one per record.
+func TestGroupCommitAmortizesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sm := NewStoreMetrics(reg, 0)
+	s.SetMetrics(sm)
+
+	const depth = 16
+	base := sm.Fsyncs.Value()
+	waits := make([]*Pending, 0, depth)
+	for seq := 1; seq <= depth; seq++ {
+		w, err := s.FinalizeAsync(rec(0, seq, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+	}
+	for _, w := range waits {
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsyncs := sm.Fsyncs.Value() - base
+	// One group commit: segment sync + (new segment) dir sync + manifest
+	// temp sync + manifest dir sync = 4 syscalls for 16 finalizes.
+	if ratio := float64(fsyncs) / depth; ratio >= 0.5 {
+		t.Fatalf("fsyncs/finalize = %d/%d = %.2f, want < 0.5", fsyncs, depth, ratio)
+	}
+	if got := sm.Finalizes.Value(); got != depth {
+		t.Fatalf("finalized counter = %d, want %d", got, depth)
+	}
+	if got := s.Manifest().Seqs; len(got) != depth {
+		t.Fatalf("manifest seqs = %v, want %d entries", got, depth)
+	}
+	// Every record of the batch replays, both live and after reopen.
+	for seq := 1; seq <= depth; seq++ {
+		got, err := s.Load(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rec(0, seq, 2)) {
+			t.Fatalf("seq %d round-trip mismatch", seq)
+		}
+	}
+	s2, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= depth; seq++ {
+		if _, err := s2.Load(seq); err != nil {
+			t.Fatalf("reopened load seq %d: %v", seq, err)
+		}
+	}
+}
+
+// TestManifestRollbackOnFailedCommit is the satellite-1 regression: a
+// manifest write failure mid-commit must roll the in-memory manifest
+// back to what disk holds, so a later successful finalize cannot
+// publish a phantom entry.
+func TestManifestRollbackOnFailedCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(rec(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Make the manifest commit fail after the segment bytes land: replace
+	// MANIFEST.json with a directory, so writeAtomic's rename gets EISDIR
+	// (works even when running as root, unlike permission bits).
+	manifest := filepath.Join(s.Dir(), "MANIFEST.json")
+	if err := os.Remove(manifest); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(manifest, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(rec(0, 2, 1)); err == nil {
+		t.Fatal("finalize with unwritable manifest succeeded")
+	}
+	if s.LastSeq() != 1 {
+		t.Fatalf("LastSeq after failed manifest commit = %d, want 1 (in-memory manifest diverged from disk)", s.LastSeq())
+	}
+	// Heal the manifest path and retry: the same seq must commit cleanly
+	// and disk must agree with memory.
+	if err := os.Remove(manifest); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(rec(0, 2, 1)); err != nil {
+		t.Fatalf("retry after healed manifest: %v", err)
+	}
+	if err := s.Finalize(rec(0, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Manifest().Seqs; !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("manifest seqs = %v, want [1 2 3]", got)
+	}
+	m, err := ReadManifest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Seqs, []int{1, 2, 3}) {
+		t.Fatalf("on-disk manifest seqs = %v, want [1 2 3]", m.Seqs)
+	}
+	s2, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 3; seq++ {
+		if _, err := s2.Load(seq); err != nil {
+			t.Fatalf("load seq %d after rollback+retry: %v", seq, err)
+		}
+	}
+}
+
+// TestLoadLogMismatchMessage is the satellite-2 regression: the
+// log-entry mismatch comes from the checkpoint state's own count, and
+// the error must say so (the old message blamed the manifest, which
+// holds no counts at all).
+func TestLoadLogMismatchMessage(t *testing.T) {
+	dir := t.TempDir()
+	r := rec(0, 1, 3)
+	writeLegacyRecord(t, dir, r)
+	writeManifest(t, dir, 0, 2, []int{1})
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one log line: the state file still claims 3 entries.
+	logPath := filepath.Join(s.Dir(), "log_000001.jsonl")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if err := os.WriteFile(logPath, bytes.Join(lines[:2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Load(1)
+	if err == nil {
+		t.Fatal("mismatched log loaded without error")
+	}
+	if !strings.Contains(err.Error(), "checkpoint state says 3") {
+		t.Fatalf("mismatch error %q does not name the checkpoint state as the count's source", err)
+	}
+	if strings.Contains(err.Error(), "manifest says") {
+		t.Fatalf("mismatch error %q still blames the manifest", err)
+	}
+}
+
+// TestLegacyStoreUpgrades: a datadir written by the pre-segment engine
+// (per-seq files + plain manifest) opens, loads, and accepts new
+// finalizes into segments, with legacy records still readable and a
+// new delta legally chaining onto a legacy base after GC compaction.
+func TestLegacyStoreUpgrades(t *testing.T) {
+	dir := t.TempDir()
+	for seq := 1; seq <= 3; seq++ {
+		writeLegacyRecord(t, dir, rec(0, seq, 2))
+	}
+	writeManifest(t, dir, 0, 2, []int{1, 2, 3})
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 3; seq++ {
+		got, err := s.Load(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rec(0, seq, 2)) {
+			t.Fatalf("legacy seq %d round-trip mismatch", seq)
+		}
+	}
+	for seq := 4; seq <= 6; seq++ {
+		if err := s.Finalize(rec(0, seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 6; seq++ {
+		if _, err := s2.Load(seq); err != nil {
+			t.Fatalf("mixed-format load seq %d: %v", seq, err)
+		}
+	}
+}
+
+// TestIncrementalChainByteIdentical is the acceptance criterion:
+// recovery through a delta chain must reproduce exactly the records a
+// full-snapshot-only store reproduces.
+func TestIncrementalChainByteIdentical(t *testing.T) {
+	const n = 20
+	deltaDir, fullDir := t.TempDir(), t.TempDir()
+	opts := DefaultOptions()
+	opts.SnapshotEvery = 4
+	sd, err := OpenWith(deltaDir, 0, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOpts := DefaultOptions()
+	fullOpts.SnapshotEvery = 1 // every record a full snapshot
+	sf, err := OpenWith(fullDir, 0, 2, fullOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= n; seq++ {
+		r := rec(0, seq, seq%3)
+		if err := sd.Finalize(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := sf.Finalize(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen both (the replay path, not the in-memory cache) and compare
+	// every record byte-for-byte via the canonical JSON encoding.
+	sd2, err := OpenWith(deltaDir, 0, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf2, err := OpenWith(fullDir, 0, 2, fullOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= n; seq++ {
+		dr, err := sd2.Load(seq)
+		if err != nil {
+			t.Fatalf("delta-chain load seq %d: %v", seq, err)
+		}
+		fr, err := sf2.Load(seq)
+		if err != nil {
+			t.Fatalf("full-snapshot load seq %d: %v", seq, err)
+		}
+		db, _ := json.Marshal(dr)
+		fb, _ := json.Marshal(fr)
+		if !bytes.Equal(db, fb) {
+			t.Fatalf("seq %d: delta-chain recovery diverges from full-snapshot recovery:\n delta %s\n full  %s", seq, db, fb)
+		}
+	}
+}
+
+// TestGCToWatermark: records below the globally finalized S_k leave the
+// manifest and disk; the watermark itself (compacted to a full snapshot
+// if it was a delta) and everything above it stay loadable.
+func TestGCToWatermark(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.SnapshotEvery = 4
+	opts.SegmentMaxBytes = 1024 // force rotation so old segments can die
+	s, err := OpenWith(dir, 0, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sm := NewStoreMetrics(reg, 0)
+	s.SetMetrics(sm)
+	for seq := 1; seq <= 12; seq++ {
+		if err := s.Finalize(rec(0, seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := len(s.Manifest().Segments)
+	if err := s.GCTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Manifest().Seqs; !reflect.DeepEqual(got, []int{10, 11, 12}) {
+		t.Fatalf("post-GC manifest seqs = %v, want [10 11 12]", got)
+	}
+	if got := sm.GCRemoved.Value(); got != 9 {
+		t.Fatalf("gc-removed counter = %d, want 9", got)
+	}
+	if segsAfter := len(s.Manifest().Segments); segsAfter >= segsBefore {
+		t.Fatalf("GC kept all %d segments (had %d before)", segsAfter, segsBefore)
+	}
+	for seq := 10; seq <= 12; seq++ {
+		got, err := s.Load(seq)
+		if err != nil {
+			t.Fatalf("post-GC load seq %d: %v", seq, err)
+		}
+		if !reflect.DeepEqual(got, rec(0, seq, 2)) {
+			t.Fatalf("post-GC seq %d round-trip mismatch", seq)
+		}
+	}
+	if _, err := s.Load(9); err == nil {
+		t.Fatal("collected seq 9 still loads")
+	}
+	// Idempotent and monotone: re-collecting the same or an unknown
+	// watermark is a no-op.
+	if err := s.GCTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GCTo(999); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Manifest().Seqs; !reflect.DeepEqual(got, []int{10, 11, 12}) {
+		t.Fatalf("idempotent GC changed seqs to %v", got)
+	}
+	// Survives reopen: the compacted watermark chain replays from disk.
+	s2, err := OpenWith(dir, 0, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 10; seq <= 12; seq++ {
+		got, err := s2.Load(seq)
+		if err != nil {
+			t.Fatalf("reopened post-GC load seq %d: %v", seq, err)
+		}
+		if !reflect.DeepEqual(got, rec(0, seq, 2)) {
+			t.Fatalf("reopened post-GC seq %d mismatch", seq)
+		}
+	}
+	// New finalizes continue above the watermark.
+	if err := s2.Finalize(rec(0, 13, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentRotation: the active segment rotates at SegmentMaxBytes
+// and every record stays loadable across the rotation and a reopen.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.SegmentMaxBytes = 512
+	s, err := OpenWith(dir, 0, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 10; seq++ {
+		if err := s.Finalize(rec(0, seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := s.Manifest().Segments; len(segs) < 2 {
+		t.Fatalf("no rotation at 512-byte cap: segments = %v", segs)
+	}
+	s2, err := OpenWith(dir, 0, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 10; seq++ {
+		got, err := s2.Load(seq)
+		if err != nil {
+			t.Fatalf("rotated load seq %d: %v", seq, err)
+		}
+		if !reflect.DeepEqual(got, rec(0, seq, 2)) {
+			t.Fatalf("rotated seq %d mismatch", seq)
+		}
+	}
+}
+
+// TestTruncateAfterForcesFullSnapshot: a rollback may be followed by
+// re-finalized seqs; the first record after the rollback must not delta
+// against a discarded state, and the re-finalized frame (not the stale
+// one still in the segment) must win on reopen.
+func TestTruncateAfterForcesFullSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 4; seq++ {
+		if err := s.Finalize(rec(0, seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.TruncateAfter(2); err != nil {
+		t.Fatal(err)
+	}
+	// Re-produce seqs 3 and 4 with different payloads.
+	want3, want4 := rec(0, 3, 3), rec(0, 4, 0)
+	if err := s.Finalize(want3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(want4); err != nil {
+		t.Fatal(err)
+	}
+	check := func(s *Store, label string) {
+		t.Helper()
+		got3, err := s.Load(3)
+		if err != nil {
+			t.Fatalf("%s load 3: %v", label, err)
+		}
+		if !reflect.DeepEqual(got3, want3) {
+			t.Fatalf("%s: stale pre-rollback seq 3 won over the re-finalized record", label)
+		}
+		got4, err := s.Load(4)
+		if err != nil {
+			t.Fatalf("%s load 4: %v", label, err)
+		}
+		if !reflect.DeepEqual(got4, want4) {
+			t.Fatalf("%s: stale pre-rollback seq 4 won over the re-finalized record", label)
+		}
+	}
+	check(s, "live")
+	s2, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s2, "reopened")
+}
+
+// TestCrashPointMatrix covers the segment crash boundaries the chaos
+// runner also drives end-to-end: debris at each commit boundary must
+// never make the manifest point at missing data, and everything the
+// manifest references must still load.
+func TestCrashPointMatrix(t *testing.T) {
+	seed := func(t *testing.T) (string, *Store) {
+		t.Helper()
+		dir := t.TempDir()
+		opts := DefaultOptions()
+		opts.SegmentMaxBytes = 1024
+		s, err := OpenWith(dir, 0, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seq := 1; seq <= 6; seq++ {
+			if err := s.Finalize(rec(0, seq, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir, s
+	}
+	verify := func(t *testing.T, dir string) {
+		t.Helper()
+		s, err := Open(dir, 0, 2)
+		if err != nil {
+			t.Fatalf("reopen with crash debris: %v", err)
+		}
+		for _, seq := range s.Manifest().Seqs {
+			if _, err := s.Load(seq); err != nil {
+				t.Fatalf("manifest points at unloadable seq %d: %v", seq, err)
+			}
+		}
+		for seq := 1; seq <= 6; seq++ {
+			got, err := s.Load(seq)
+			if err != nil {
+				t.Fatalf("previously durable seq %d lost: %v", seq, err)
+			}
+			if !reflect.DeepEqual(got, rec(0, seq, 2)) {
+				t.Fatalf("seq %d corrupted by crash debris", seq)
+			}
+		}
+	}
+
+	t.Run("torn segment header", func(t *testing.T) {
+		// Crash while creating a fresh segment: only half the header hit
+		// disk, and no manifest references the file.
+		dir, s := seed(t)
+		next := len(s.Manifest().Segments) + 1
+		if err := os.WriteFile(SegmentFile(s.Dir(), next), []byte(segMagic[:4]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verify(t, dir)
+	})
+
+	t.Run("torn group-commit batch", func(t *testing.T) {
+		// Crash mid-batch-append: garbage bytes sit beyond the durable
+		// size of the active segment.
+		dir, s := seed(t)
+		segs := s.Manifest().Segments
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(SegmentFile(s.Dir(), last.Index), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("\x99\x00\x00\x00garbage-from-a-torn-batch")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		verify(t, dir)
+		// The tail was truncated: a second reopen sees a clean file.
+		fi, err := os.Stat(SegmentFile(ProcDir(dir, 0), last.Index))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != last.Size {
+			t.Fatalf("torn tail not truncated: size %d, durable %d", fi.Size(), last.Size)
+		}
+	})
+
+	t.Run("crash between compaction and segment GC", func(t *testing.T) {
+		// GCTo commits the manifest before unlinking dead segments; a
+		// crash in between leaves a valid but unreferenced segment file.
+		dir, s := seed(t)
+		segs := s.Manifest().Segments
+		firstSeg := SegmentFile(s.Dir(), segs[0].Index)
+		orphan := SegmentFile(s.Dir(), segs[len(segs)-1].Index+3)
+		raw, err := os.ReadFile(firstSeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(orphan, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verify(t, dir)
+		if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+			t.Fatalf("orphan segment survived the open sweep (err=%v)", err)
+		}
+	})
+
+	t.Run("torn manifest over segments", func(t *testing.T) {
+		// Crash mid-manifest-overwrite: the rebuild must recover every
+		// record from the segments' durable bytes.
+		dir, s := seed(t)
+		manifest := filepath.Join(s.Dir(), "MANIFEST.json")
+		raw, err := os.ReadFile(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manifest, raw[:len(raw)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verify(t, dir)
+	})
+}
+
+// TestFinalizeBatch: a mid-batch injected failure commits exactly the
+// prefix before the failing record — committing past it would gap the
+// manifest — and reports the first error.
+func TestFinalizeBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]checkpoint.Record, 0, 6)
+	for seq := 1; seq <= 6; seq++ {
+		recs = append(recs, rec(0, seq, 1))
+	}
+	s.SetFinalizeErrHook(func(r checkpoint.Record) error {
+		if r.Seq == 4 {
+			return os.ErrDeadlineExceeded
+		}
+		return nil
+	})
+	committed, err := s.FinalizeBatch(recs)
+	if err == nil {
+		t.Fatal("injected batch failure not surfaced")
+	}
+	if committed != 3 {
+		t.Fatalf("committed = %d, want 3 (prefix before the failing record)", committed)
+	}
+	if got := s.Manifest().Seqs; !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("manifest seqs = %v, want [1 2 3]", got)
+	}
+	s.SetFinalizeErrHook(nil)
+	committed, err = s.FinalizeBatch(recs[3:])
+	if err != nil || committed != 3 {
+		t.Fatalf("retry batch = (%d, %v), want (3, nil)", committed, err)
+	}
+	if s.LastSeq() != 6 {
+		t.Fatalf("LastSeq = %d, want 6", s.LastSeq())
+	}
+}

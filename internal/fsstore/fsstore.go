@@ -5,22 +5,28 @@
 //
 // Layout, one directory per process under a shared data directory:
 //
-//	<datadir>/p<id>/ckpt_000007.json   checkpoint state (CT + CFE fields)
-//	<datadir>/p<id>/log_000007.jsonl   message log, one entry per line
-//	<datadir>/p<id>/MANIFEST.json      finalized sequence numbers
+//	<datadir>/p<id>/seg_000001.wal     segmented append-only checkpoint log
+//	<datadir>/p<id>/MANIFEST.json      finalized seqs + durable segment sizes
 //	<datadir>/p<id>/tent.json          scratch early-flush of CT (volatile)
+//	<datadir>/p<id>/ckpt_000007.json   legacy per-seq state (read-only compat)
+//	<datadir>/p<id>/log_000007.jsonl   legacy per-seq log (read-only compat)
 //
-// Durability protocol per finalization CFE_{i,k}: the message log is
-// appended and fsynced first, then the checkpoint state is written to a
-// temp file, fsynced and atomically renamed into place, then the manifest
-// is rewritten the same way and the directory fsynced. A crash at any
-// point leaves either the previous manifest (the new checkpoint invisible
-// but harmless) or the new one (all referenced files durable) — never a
-// manifest pointing at missing data.
+// Durability is a pipelined group commit: queued finalizations are
+// encoded into CRC-framed records — a full state snapshot every
+// Options.SnapshotEvery records, incremental deltas in between — and
+// appended to the active segment with ONE fsync for the whole batch,
+// then the manifest (sequence numbers plus the durable byte length of
+// each segment) is rewritten via temp file + fsync + rename + directory
+// sync. A crash at any point leaves either the previous manifest (the
+// batch invisible: its bytes sit beyond the recorded segment size and
+// are truncated on Open) or the new one (every referenced byte durable)
+// — never a manifest pointing at missing data.
 //
 // The manifest of every process, intersected, yields the last finalized
-// global checkpoint S_k on disk; internal/recovery's RecoverLine restarts
-// a cluster from it.
+// global checkpoint S_k on disk; internal/recovery's RecoverLine
+// restarts a cluster from it, and GCTo garbage-collects everything
+// below that watermark (compacting the watermark record to a full
+// snapshot first, so surviving delta chains stay resolvable).
 package fsstore
 
 import (
@@ -34,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ocsml/internal/checkpoint"
 	"ocsml/internal/des"
@@ -53,6 +60,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// SegmentMeta records one segment file's durable extent: Size is the
+// byte length the last committed batch covered. Bytes beyond Size are
+// an interrupted group commit and are never read.
+type SegmentMeta struct {
+	Index int   `json:"index"`
+	Size  int64 `json:"size"`
+}
+
 // Manifest records what a process has durably finalized.
 type Manifest struct {
 	// Proc is the owning process id.
@@ -62,6 +77,10 @@ type Manifest struct {
 	// Seqs lists every finalized checkpoint sequence number on disk,
 	// ascending (gap-free from the first entry under OCSML).
 	Seqs []int `json:"seqs"`
+	// Segments lists the segmented log's files and their durable byte
+	// lengths, ascending by index; the last entry is the active segment.
+	// Empty for a legacy (per-seq files only) store.
+	Segments []SegmentMeta `json:"segments,omitempty"`
 }
 
 // LastSeq returns the highest finalized sequence number, or -1.
@@ -72,18 +91,80 @@ func (m *Manifest) LastSeq() int {
 	return m.Seqs[len(m.Seqs)-1]
 }
 
+// Options tunes the durability engine. The zero value of any field
+// selects its default.
+type Options struct {
+	// GroupWindow is the max-latency flush window of a synchronous
+	// Finalize: how long the caller lingers for other finalizations to
+	// join its group commit before forcing the flush itself. 0 (the
+	// default) flushes immediately; FinalizeAsync callers coalesce
+	// regardless.
+	GroupWindow time.Duration
+	// MaxBatch bounds how many queued finalizations one commit covers
+	// (default 64).
+	MaxBatch int
+	// SegmentMaxBytes rotates the active segment once its durable size
+	// reaches this bound (default 4 MiB).
+	SegmentMaxBytes int64
+	// SnapshotEvery writes a full state snapshot every k-th record, with
+	// incremental deltas in between (default 8; 1 disables deltas).
+	SnapshotEvery int
+}
+
+// DefaultOptions returns the engine defaults.
+func DefaultOptions() Options {
+	return Options{MaxBatch: 64, SegmentMaxBytes: 4 << 20, SnapshotEvery: 8}
+}
+
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	if o.GroupWindow < 0 {
+		o.GroupWindow = 0
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = def.MaxBatch
+	}
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = def.SegmentMaxBytes
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = def.SnapshotEvery
+	}
+	return o
+}
+
 // Store is one process's stable-storage directory. Methods are safe
 // for concurrent use (the real-network runtime finalizes from a storage
-// goroutine while a rollback may truncate from the protocol loop).
+// goroutine while a rollback may truncate from the protocol loop, and
+// the cluster's GC loop prunes below the global watermark).
 type Store struct {
 	mu   sync.Mutex
 	dir  string
 	proc int
 	n    int
+	opts Options
 	//ocsml:guardedby mu
 	man Manifest
-	// finalizeErr, when set, is consulted before each Finalize writes
-	// anything — the error-injection hook of the durability tests.
+	// index locates every manifested checkpoint in the segmented log;
+	// seqs absent here are read through the legacy per-seq files.
+	//ocsml:guardedby mu
+	index map[int]recLoc
+	// queue holds finalizations accepted but not yet committed; a drain
+	// commits it in enqueue order, MaxBatch records per fsync.
+	//ocsml:guardedby mu
+	queue []*pending
+	// lastState is the most recently committed record's state — the
+	// base the next delta is computed against. haveLast is false right
+	// after Open or TruncateAfter, forcing a full snapshot.
+	//ocsml:guardedby mu
+	lastState ckptState
+	//ocsml:guardedby mu
+	haveLast bool
+	// sinceFull counts records since the last full snapshot.
+	//ocsml:guardedby mu
+	sinceFull int
+	// finalizeErr, when set, is consulted before each record's bytes are
+	// written — the error-injection hook of the durability tests.
 	//ocsml:guardedby mu
 	finalizeErr func(checkpoint.Record) error
 	// metrics, when set, receives this store's durability instruments.
@@ -97,6 +178,7 @@ type StoreMetrics struct {
 	FinalizeErrors *metrics.Counter
 	Fsyncs         *metrics.Counter
 	BytesWritten   *metrics.Counter
+	GCRemoved      *metrics.Counter
 }
 
 // NewStoreMetrics registers the fsstore instrument families in reg and
@@ -105,13 +187,15 @@ func NewStoreMetrics(reg *metrics.Registry, proc int) *StoreMetrics {
 	p := strconv.Itoa(proc)
 	return &StoreMetrics{
 		Finalizes: reg.MustCounterVec("ocsml_fsstore_finalized_total",
-			"Checkpoints durably finalized (log + state + manifest committed).", "proc").With(p),
+			"Checkpoints durably finalized (segment append + manifest committed).", "proc").With(p),
 		FinalizeErrors: reg.MustCounterVec("ocsml_fsstore_finalize_errors_total",
 			"Finalize attempts that failed before the manifest commit.", "proc").With(p),
 		Fsyncs: reg.MustCounterVec("ocsml_fsstore_fsyncs_total",
-			"File and directory fsyncs issued by the durability protocol.", "proc").With(p),
+			"File and directory fsync syscalls issued by the durability protocol.", "proc").With(p),
 		BytesWritten: reg.MustCounterVec("ocsml_fsstore_bytes_written_total",
-			"Bytes handed to stable storage (logs, checkpoint states, manifests).", "proc").With(p),
+			"Bytes handed to stable storage (segments, checkpoint states, manifests).", "proc").With(p),
+		GCRemoved: reg.MustCounterVec("ocsml_fsstore_gc_removed_total",
+			"Checkpoint records garbage-collected below the global S_k watermark.", "proc").With(p),
 	}
 }
 
@@ -132,10 +216,11 @@ func (s *Store) noteWriteLocked(bytes, fsyncs int64) {
 	}
 }
 
-// SetFinalizeErrHook installs (or, with nil, removes) a hook consulted at
-// the top of Finalize; a non-nil return fails the call before any byte is
-// written. Tests use it to prove a failed write is retried and never
-// skipped past.
+// SetFinalizeErrHook installs (or, with nil, removes) a hook consulted
+// before each record's bytes are written; a non-nil return fails that
+// record (and, in a batch, every record queued behind it) before any of
+// its bytes reach the segment. Tests use it to prove a failed write is
+// retried and never skipped past.
 func (s *Store) SetFinalizeErrHook(fn func(checkpoint.Record) error) {
 	s.mu.Lock()
 	s.finalizeErr = fn
@@ -147,17 +232,24 @@ func ProcDir(datadir string, proc int) string {
 	return filepath.Join(datadir, fmt.Sprintf("p%d", proc))
 }
 
-// Open creates (or reopens) the store for one process. An existing
-// manifest is loaded, so a restarted process sees what it had finalized
-// before the crash.
+// Open creates (or reopens) the store for one process with default
+// Options. An existing manifest is loaded, so a restarted process sees
+// what it had finalized before the crash.
+func Open(datadir string, proc, n int) (*Store, error) {
+	return OpenWith(datadir, proc, n, DefaultOptions())
+}
+
+// OpenWith is Open with explicit engine Options.
 //
 // Open is also the crash-recovery entry point: temp files left by a
-// crash between an atomic write and its rename (a torn manifest or
-// checkpoint mid-flight) are deleted — the rename never happened, so
-// they are invisible garbage that must not fail the restart — and a
-// manifest that is itself unreadable is rebuilt from the checkpoint
-// files that verify on disk.
-func Open(datadir string, proc, n int) (*Store, error) {
+// crash between an atomic write and its rename are deleted, segment
+// files the manifest does not reference (a crash between segment
+// creation or GC and the manifest commit) are removed, segment tails
+// beyond the manifest's durable sizes (an interrupted group commit) are
+// truncated away, and a manifest that is itself unreadable — or that
+// disagrees with the bytes on disk — is rebuilt from the records that
+// verify.
+func OpenWith(datadir string, proc, n int, opts Options) (*Store, error) {
 	if proc < 0 || n < 2 || proc >= n {
 		return nil, fmt.Errorf("fsstore: invalid proc %d of %d", proc, n)
 	}
@@ -165,30 +257,46 @@ func Open(datadir string, proc, n int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, proc: proc, n: n, man: Manifest{Proc: proc, N: n}}
+	s := &Store{
+		dir: dir, proc: proc, n: n, opts: opts.withDefaults(),
+		man:   Manifest{Proc: proc, N: n},
+		index: map[int]recLoc{},
+	}
 	if err := s.clearDebris(); err != nil {
 		return nil, err
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
 	switch {
 	case os.IsNotExist(err):
+		// Nothing durable: any segment file present is debris from a
+		// crash before the very first manifest commit.
+		if err := s.sweepSegments(); err != nil {
+			return nil, err
+		}
 		return s, nil
 	case err != nil:
 		return nil, err
 	}
 	var m Manifest
+	rebuild := false
 	if err := json.Unmarshal(raw, &m); err != nil {
-		// Torn/partially written manifest: recover what the disk can
-		// prove instead of failing the restart.
+		rebuild = true // torn/partially written manifest
+	} else if m.Proc != proc {
+		return nil, fmt.Errorf("fsstore: manifest in %s belongs to P%d, not P%d", dir, m.Proc, proc)
+	} else {
+		s.man = m
+		if err := s.loadSegments(); err != nil {
+			rebuild = true // manifest references bytes the disk cannot prove
+		}
+	}
+	if rebuild {
 		if err := s.rebuildManifest(); err != nil {
 			return nil, fmt.Errorf("fsstore: corrupt manifest in %s and rebuild failed: %w", dir, err)
 		}
-		return s, nil
 	}
-	if m.Proc != proc {
-		return nil, fmt.Errorf("fsstore: manifest in %s belongs to P%d, not P%d", dir, m.Proc, proc)
+	if err := s.sweepSegments(); err != nil {
+		return nil, err
 	}
-	s.man = m
 	return s, nil
 }
 
@@ -209,31 +317,161 @@ func (s *Store) clearDebris() error {
 	return nil
 }
 
-// rebuildManifest reconstructs the manifest from the checkpoint files on
-// disk: a sequence number is recovered only if its state file parses and
-// its message log is complete (the durability protocol writes both
-// before the manifest, so every previously manifested checkpoint
-// verifies; a checkpoint whose manifest commit was interrupted verifies
-// too and is safely re-admitted). The rebuilt manifest is written back
-// atomically.
+// sweepSegments removes segment files the manifest does not reference:
+// the debris of a crash between creating a fresh segment (or unlinking
+// a GC'd one) and the manifest commit that would have recorded it.
+// Runs at Open-time, before the store escapes its constructor.
+func (s *Store) sweepSegments() error {
+	known := map[int]bool{}
+	for _, meta := range s.man.Segments { //ocsml:nolock Open-time sweep: the store has not escaped its constructor yet
+		known[meta.Index] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		idx, ok := parseSegmentName(e.Name())
+		if !ok || known[idx] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSegments scans every manifested segment up to its durable size,
+// builds the seq -> location index, and truncates tails an interrupted
+// group commit left beyond the durable sizes. An error means the
+// manifest references bytes the disk cannot prove (missing file, torn
+// or corrupt frame inside a durable prefix) and the caller falls back
+// to a full rebuild. Runs at Open-time, before the store escapes.
+func (s *Store) loadSegments() error {
+	manifested := map[int]bool{}
+	for _, q := range s.man.Seqs { //ocsml:nolock Open-time load: the store has not escaped its constructor yet
+		manifested[q] = true
+	}
+	index := map[int]recLoc{}
+	for _, meta := range s.man.Segments { //ocsml:nolock Open-time load, as above
+		path := SegmentFile(s.dir, meta.Index)
+		frames, valid, err := scanSegment(path, s.proc, meta.Index, meta.Size, true)
+		if err != nil {
+			return err
+		}
+		if valid < meta.Size {
+			return fmt.Errorf("fsstore: segment %d: durable prefix %d short of manifest size %d", meta.Index, valid, meta.Size)
+		}
+		// Later occurrences win: a seq truncated by a rollback and then
+		// re-finalized appears twice, and only the newest frame is live.
+		for _, fr := range frames {
+			if manifested[fr.rec.Seq] {
+				index[fr.rec.Seq] = fr.loc
+			}
+		}
+		if err := truncateTail(path, meta.Size); err != nil {
+			return err
+		}
+	}
+	for _, q := range s.man.Seqs { //ocsml:nolock Open-time load, as above
+		if _, ok := index[q]; ok {
+			continue
+		}
+		// Not in any segment: must be readable as a legacy per-seq pair.
+		if _, err := os.Stat(s.ckptPath(q)); err != nil {
+			return fmt.Errorf("fsstore: manifested seq %d in neither segments nor legacy files", q)
+		}
+	}
+	s.index = index //ocsml:nolock Open-time load, as above
+	return nil
+}
+
+// truncateTail cuts a segment file back to its durable size and syncs
+// the truncation, so garbage from an interrupted batch cannot linger.
+func truncateTail(path string, size int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.Size() <= size {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rebuildManifest reconstructs the manifest from the bytes on disk: the
+// segments are scanned tolerantly (stopping each at its first torn
+// frame), legacy per-seq files are verified as before, and a sequence
+// number is recovered only if its record — including a delta's whole
+// base chain — replays from durable bytes. The durability protocol
+// commits bytes before the manifest, so every previously manifested
+// checkpoint verifies; a checkpoint whose manifest commit was
+// interrupted verifies too and is safely re-admitted. The rebuilt
+// manifest is written back atomically.
 func (s *Store) rebuildManifest() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
 	man := Manifest{Proc: s.proc, N: s.n}
+	index := map[int]recLoc{}
+	candidates := map[int]bool{}
+	var segIdxs []int
 	for _, e := range entries {
-		var seq int
-		if _, err := fmt.Sscanf(e.Name(), "ckpt_%06d.json", &seq); err != nil {
+		if idx, ok := parseSegmentName(e.Name()); ok {
+			segIdxs = append(segIdxs, idx)
 			continue
 		}
-		if _, err := s.Load(seq); err != nil {
-			continue // torn checkpoint or log: not provably durable
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "ckpt_%06d.json", &seq); err == nil {
+			candidates[seq] = true
 		}
-		man.Seqs = append(man.Seqs, seq)
 	}
-	sort.Ints(man.Seqs)
-	s.man = man                                       //ocsml:nolock Open-time rebuild: the store has not escaped its constructor yet
+	sort.Ints(segIdxs)
+	for _, idx := range segIdxs {
+		path := SegmentFile(s.dir, idx)
+		frames, valid, err := scanSegment(path, s.proc, idx, -1, false)
+		if err != nil {
+			return err
+		}
+		if valid <= int64(segHeaderSize) {
+			continue // torn header or empty: sweepSegments removes the file
+		}
+		for _, fr := range frames {
+			index[fr.rec.Seq] = fr.loc // later occurrences win
+			candidates[fr.rec.Seq] = true
+		}
+		man.Segments = append(man.Segments, SegmentMeta{Index: idx, Size: valid})
+		if err := truncateTail(path, valid); err != nil {
+			return err
+		}
+	}
+	s.index = index //ocsml:nolock Open-time rebuild: the store has not escaped its constructor yet
+	seqs := make([]int, 0, len(candidates))
+	for q := range candidates {
+		seqs = append(seqs, q)
+	}
+	sort.Ints(seqs)
+	for _, q := range seqs {
+		if _, err := s.loadLocked(q); err != nil { //ocsml:nolock Open-time rebuild, as above
+			continue // torn checkpoint, log or chain: not provably durable
+		}
+		man.Seqs = append(man.Seqs, q)
+	}
+	s.man = man                                       //ocsml:nolock Open-time rebuild, as above
 	mdata, err := json.MarshalIndent(&s.man, "", " ") //ocsml:nolock Open-time rebuild, as above
 	if err != nil {
 		return err
@@ -250,6 +488,7 @@ func (s *Store) Manifest() Manifest {
 	defer s.mu.Unlock()
 	m := s.man
 	m.Seqs = append([]int(nil), s.man.Seqs...)
+	m.Segments = append([]SegmentMeta(nil), s.man.Segments...)
 	return m
 }
 
@@ -317,7 +556,8 @@ func (s *Store) syncDir() error {
 }
 
 // ckptState is the on-disk checkpoint state: the Record minus its log,
-// which lives in the sibling jsonl file.
+// which travels in the same segment frame (or, legacy, in the sibling
+// jsonl file).
 type ckptState struct {
 	checkpoint.Tentative
 	FinalizedAt int64  `json:"finalizedAt"`
@@ -326,6 +566,32 @@ type ckptState struct {
 	CFEProgress int64  `json:"cfeProgress"`
 	StableAt    int64  `json:"stableAt"`
 	LogEntries  int    `json:"logEntries"`
+}
+
+// stateOf projects a Record onto its on-disk state.
+func stateOf(rec checkpoint.Record) ckptState {
+	return ckptState{
+		Tentative:   rec.Tentative,
+		FinalizedAt: int64(rec.FinalizedAt),
+		CFEFold:     rec.CFEFold,
+		CFEWork:     rec.CFEWork,
+		CFEProgress: rec.CFEProgress,
+		StableAt:    int64(rec.StableAt),
+		LogEntries:  len(rec.Log),
+	}
+}
+
+// recordOf rehydrates a Record from its state and log.
+func recordOf(st ckptState, log []checkpoint.LoggedMsg) checkpoint.Record {
+	return checkpoint.Record{
+		Tentative:   st.Tentative,
+		Log:         log,
+		FinalizedAt: des.Time(st.FinalizedAt),
+		CFEFold:     st.CFEFold,
+		CFEWork:     st.CFEWork,
+		CFEProgress: st.CFEProgress,
+		StableAt:    des.Time(st.StableAt),
+	}
 }
 
 // SaveTentative persists an early flush of the tentative checkpoint CT
@@ -342,78 +608,295 @@ func (s *Store) SaveTentative(t checkpoint.Tentative) error {
 	return s.writeAtomic(filepath.Join(s.dir, "tent.json"), data)
 }
 
-// Finalize durably persists a finalized checkpoint: log first (append +
-// fsync), then state (atomic rename), then manifest. Idempotent per
-// sequence number; out-of-order sequence numbers are an error.
-func (s *Store) Finalize(rec checkpoint.Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	err := s.finalizeLocked(rec)
-	if m := s.metrics; m != nil {
-		if err != nil {
-			m.FinalizeErrors.Inc()
-		} else {
-			m.Finalizes.Inc()
-		}
-	}
-	return err
+// pending is one finalization accepted into the commit queue. done is
+// buffered; the committing drain resolves it exactly once.
+type pending struct {
+	rec  checkpoint.Record
+	done chan error
 }
 
-func (s *Store) finalizeLocked(rec checkpoint.Record) error {
-	if rec.Proc != s.proc {
-		return fmt.Errorf("fsstore: record for P%d written to store of P%d", rec.Proc, s.proc)
-	}
-	if last := s.man.LastSeq(); rec.Seq <= last {
-		return fmt.Errorf("fsstore: P%d finalize seq %d not above manifest last %d", s.proc, rec.Seq, last)
-	}
-	if s.finalizeErr != nil {
-		if err := s.finalizeErr(rec); err != nil {
-			return err
-		}
-	}
+// Pending is the handle of an asynchronous finalization.
+type Pending struct {
+	s *Store
+	p *pending
+}
 
-	// 1. Message log: append every entry, one JSON line each, and flush.
-	lf, err := os.OpenFile(s.logPath(rec.Seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// Wait blocks until the record is durably committed (or failed),
+// driving a group commit itself if no other caller has flushed the
+// queue yet.
+func (w *Pending) Wait() error {
+	select {
+	case err := <-w.p.done:
+		return err
+	default:
+	}
+	w.s.drain()
+	return <-w.p.done
+}
+
+// enqueue validates a record and appends it to the commit queue.
+func (s *Store) enqueue(rec checkpoint.Record) (*pending, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tail := s.man.LastSeq()
+	if k := len(s.queue); k > 0 {
+		tail = s.queue[k-1].rec.Seq
+	}
+	var err error
+	switch {
+	case rec.Proc != s.proc:
+		err = fmt.Errorf("fsstore: record for P%d written to store of P%d", rec.Proc, s.proc)
+	case rec.Seq <= tail:
+		err = fmt.Errorf("fsstore: P%d finalize seq %d not above last accepted %d", s.proc, rec.Seq, tail)
+	}
+	if err != nil {
+		if m := s.metrics; m != nil {
+			m.FinalizeErrors.Inc()
+		}
+		return nil, err
+	}
+	p := &pending{rec: rec, done: make(chan error, 1)}
+	s.queue = append(s.queue, p)
+	return p, nil
+}
+
+// drain commits the whole queue, MaxBatch records per group commit.
+func (s *Store) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+}
+
+func (s *Store) drainLocked() {
+	for len(s.queue) > 0 {
+		batch := s.queue
+		if len(batch) > s.opts.MaxBatch {
+			batch = batch[:s.opts.MaxBatch:s.opts.MaxBatch]
+			s.queue = s.queue[s.opts.MaxBatch:]
+		} else {
+			s.queue = nil
+		}
+		s.commitBatchLocked(batch)
+	}
+}
+
+// Finalize durably persists a finalized checkpoint: the record joins
+// the commit queue and the call drives (or joins) a group commit. With
+// a non-zero GroupWindow the caller lingers up to that long for other
+// finalizations to share its fsync before flushing itself. Idempotent
+// per sequence number; out-of-order sequence numbers are an error.
+func (s *Store) Finalize(rec checkpoint.Record) error {
+	p, err := s.enqueue(rec)
 	if err != nil {
 		return err
 	}
-	cw := &countingWriter{w: lf}
-	enc := json.NewEncoder(cw)
-	for i := range rec.Log {
-		if err := enc.Encode(&rec.Log[i]); err != nil {
-			lf.Close()
+	if w := s.opts.GroupWindow; w > 0 {
+		select {
+		case err := <-p.done:
+			// Another caller's drain committed this record meanwhile.
 			return err
+		case <-time.After(w):
 		}
 	}
-	if err := lf.Sync(); err != nil {
-		lf.Close()
-		return err
-	}
-	if err := lf.Close(); err != nil {
-		return err
-	}
-	s.noteWriteLocked(cw.n, 1)
+	s.drain()
+	return <-p.done
+}
 
-	// 2. Checkpoint state, atomically.
-	st := ckptState{
-		Tentative:   rec.Tentative,
-		FinalizedAt: int64(rec.FinalizedAt),
-		CFEFold:     rec.CFEFold,
-		CFEWork:     rec.CFEWork,
-		CFEProgress: rec.CFEProgress,
-		StableAt:    int64(rec.StableAt),
-		LogEntries:  len(rec.Log),
+// FinalizeAsync queues a finalization and returns immediately; the
+// commit happens when any caller drives a drain (a synchronous
+// Finalize, a Wait, a TruncateAfter) or the queue reaches MaxBatch
+// during that drain. Queued records commit in enqueue order.
+func (s *Store) FinalizeAsync(rec checkpoint.Record) (*Pending, error) {
+	p, err := s.enqueue(rec)
+	if err != nil {
+		return nil, err
 	}
-	data, err := json.MarshalIndent(&st, "", " ")
+	return &Pending{s: s, p: p}, nil
+}
+
+// FinalizeBatch persists recs (ascending seqs) through one drain —
+// batches of MaxBatch records per fsync — and returns how long a prefix
+// committed. A failed record fails every record behind it (committing
+// past it would gap the manifest), and err is that first failure.
+func (s *Store) FinalizeBatch(recs []checkpoint.Record) (committed int, err error) {
+	waits := make([]*pending, 0, len(recs))
+	for _, rec := range recs {
+		p, enqErr := s.enqueue(rec)
+		if enqErr != nil {
+			err = enqErr
+			break
+		}
+		waits = append(waits, p)
+	}
+	s.drain()
+	for _, p := range waits {
+		if werr := <-p.done; werr != nil {
+			return committed, werr
+		}
+		committed++
+	}
+	return committed, err
+}
+
+// commitBatchLocked is one group commit: encode every record of the
+// batch (full snapshot or delta per the SnapshotEvery cadence), append
+// the frames to the active segment with a single file fsync, then
+// commit the manifest. On a manifest failure the in-memory manifest is
+// rolled back to match disk — the appended bytes sit beyond the durable
+// size and the next commit overwrites them.
+func (s *Store) commitBatchLocked(batch []*pending) {
+	fail := func(ps []*pending, err error) {
+		for _, p := range ps {
+			if m := s.metrics; m != nil {
+				m.FinalizeErrors.Inc()
+			}
+			p.done <- err
+		}
+	}
+	prevState, prevHave, prevSince := s.lastState, s.haveLast, s.sinceFull
+	rollbackState := func() {
+		s.lastState, s.haveLast, s.sinceFull = prevState, prevHave, prevSince
+	}
+
+	// Choose the target segment before encoding so frame offsets are
+	// final: append to the active segment, or rotate to a fresh one.
+	segIdx, writeOff := 1, int64(0)
+	newSeg := true
+	if k := len(s.man.Segments); k > 0 {
+		last := s.man.Segments[k-1]
+		if last.Size < s.opts.SegmentMaxBytes {
+			segIdx, writeOff, newSeg = last.Index, last.Size, false
+		} else {
+			segIdx = last.Index + 1
+		}
+	}
+	var buf []byte
+	if newSeg {
+		buf = segmentHeader(s.proc, segIdx)
+	}
+
+	// Encode the committable prefix; the first failing record stops the
+	// batch (committing records behind it would gap the manifest).
+	var (
+		encoded []*pending
+		seqs    []int
+		locs    []recLoc
+		stopErr error
+	)
+	for _, p := range batch {
+		if s.finalizeErr != nil {
+			if err := s.finalizeErr(p.rec); err != nil {
+				stopErr = err
+				break
+			}
+		}
+		st := stateOf(p.rec)
+		sr := segRecord{Seq: p.rec.Seq, Log: p.rec.Log}
+		full := !s.haveLast || s.sinceFull+1 >= s.opts.SnapshotEvery
+		if full {
+			sr.Kind = segFull
+			sr.State = &st
+		} else {
+			sr.Kind = segDelta
+			sr.Base = s.lastState.Seq
+			d := diffState(s.lastState, st)
+			sr.Delta = &d
+		}
+		payload, err := json.Marshal(&sr)
+		if err != nil {
+			stopErr = err
+			break
+		}
+		off := writeOff + int64(len(buf))
+		buf = appendFrame(buf, payload)
+		locs = append(locs, recLoc{
+			seg: segIdx, off: off, size: writeOff + int64(len(buf)) - off,
+			kind: sr.Kind, base: sr.Base,
+		})
+		if full {
+			s.sinceFull = 0
+		} else {
+			s.sinceFull++
+		}
+		s.lastState, s.haveLast = st, true
+		encoded = append(encoded, p)
+		seqs = append(seqs, p.rec.Seq)
+	}
+	rest := batch[len(encoded):]
+	if len(encoded) == 0 {
+		fail(rest, stopErr)
+		return
+	}
+
+	// One segment fsync covers the whole batch — the amortization the
+	// group commit exists for. A fresh segment also needs its directory
+	// entry durable before the manifest may reference it.
+	if err := writeSegment(SegmentFile(s.dir, segIdx), buf, writeOff); err != nil {
+		rollbackState()
+		fail(batch, err)
+		return
+	}
+	s.noteWriteLocked(int64(len(buf)), 1)
+	if newSeg {
+		if err := s.syncDir(); err != nil {
+			rollbackState()
+			fail(batch, err)
+			return
+		}
+		s.noteWriteLocked(0, 1)
+	}
+
+	// Manifest commit. On failure, roll the in-memory manifest back so
+	// it matches disk — a phantom Seqs entry surviving here would let
+	// the next successful commit publish a seq whose bytes were never
+	// covered by a manifest (the divergence bug this rollback fixes).
+	oldSeqs, oldSegs := s.man.Seqs, s.man.Segments
+	s.man.Seqs = append(append([]int(nil), oldSeqs...), seqs...)
+	segsCopy := append([]SegmentMeta(nil), oldSegs...)
+	if newSeg {
+		segsCopy = append(segsCopy, SegmentMeta{Index: segIdx, Size: writeOff + int64(len(buf))})
+	} else {
+		segsCopy[len(segsCopy)-1].Size = writeOff + int64(len(buf))
+	}
+	s.man.Segments = segsCopy
+	if err := s.writeManifestLocked(); err != nil {
+		s.man.Seqs, s.man.Segments = oldSeqs, oldSegs
+		rollbackState()
+		fail(batch, err)
+		return
+	}
+
+	for i, p := range encoded {
+		s.index[p.rec.Seq] = locs[i]
+		if m := s.metrics; m != nil {
+			m.Finalizes.Inc()
+		}
+		p.done <- nil
+	}
+	if len(rest) > 0 {
+		fail(rest, stopErr)
+	}
+}
+
+// writeSegment appends buf at off and fsyncs the file — the single
+// durability point of a group commit's data.
+func writeSegment(path string, buf []byte, off int64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := s.writeAtomic(s.ckptPath(rec.Seq), data); err != nil {
+	if _, err := f.WriteAt(buf, off); err != nil {
+		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
-	// 3. Manifest, atomically: the checkpoint becomes visible.
-	s.man.Seqs = append(s.man.Seqs, rec.Seq)
+func (s *Store) writeManifestLocked() error {
 	mdata, err := json.MarshalIndent(&s.man, "", " ")
 	if err != nil {
 		return err
@@ -421,8 +904,93 @@ func (s *Store) finalizeLocked(rec checkpoint.Record) error {
 	return s.writeAtomic(filepath.Join(s.dir, "MANIFEST.json"), mdata)
 }
 
-// Load reads one finalized checkpoint (state + log) back from disk.
+// Load reads one finalized checkpoint back from disk, replaying its
+// incremental chain if the record is a delta.
 func (s *Store) Load(seq int) (checkpoint.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadLocked(seq)
+}
+
+func (s *Store) loadLocked(seq int) (checkpoint.Record, error) {
+	loc, ok := s.index[seq]
+	if !ok {
+		return s.loadLegacy(seq)
+	}
+	sr, err := s.readSegRecord(loc)
+	if err != nil {
+		return checkpoint.Record{}, err
+	}
+	if sr.Seq != seq {
+		return checkpoint.Record{}, fmt.Errorf("fsstore: P%d index points seq %d at a frame holding seq %d", s.proc, seq, sr.Seq)
+	}
+	st, err := s.resolveStateLocked(&sr)
+	if err != nil {
+		return checkpoint.Record{}, err
+	}
+	rec := recordOf(st, sr.Log)
+	if len(rec.Log) != st.LogEntries {
+		return rec, fmt.Errorf("fsstore: P%d seq %d log has %d entries, checkpoint state says %d",
+			s.proc, seq, len(rec.Log), st.LogEntries)
+	}
+	return rec, nil
+}
+
+// resolveStateLocked reconstructs a segment record's full state,
+// walking a delta's base chain back to the nearest full snapshot (or a
+// legacy per-seq state file) and replaying the deltas forward.
+func (s *Store) resolveStateLocked(sr *segRecord) (ckptState, error) {
+	if sr.Kind == segFull {
+		if sr.State == nil {
+			return ckptState{}, fmt.Errorf("fsstore: P%d seq %d: full record without state", s.proc, sr.Seq)
+		}
+		return *sr.State, nil
+	}
+	if sr.Kind != segDelta {
+		return ckptState{}, fmt.Errorf("fsstore: P%d seq %d: unknown record kind %q", s.proc, sr.Seq, sr.Kind)
+	}
+	// Collect the chain target..base order, then apply oldest-first.
+	chain := []*segRecord{sr}
+	base := sr.Base
+	var st ckptState
+	for {
+		bloc, ok := s.index[base]
+		if !ok {
+			// The chain bottoms out in a legacy per-seq record.
+			lrec, err := s.loadLegacy(base)
+			if err != nil {
+				return ckptState{}, fmt.Errorf("fsstore: P%d seq %d: delta chain base %d: %w", s.proc, sr.Seq, base, err)
+			}
+			st = stateOf(lrec)
+			break
+		}
+		bsr, err := s.readSegRecord(bloc)
+		if err != nil {
+			return ckptState{}, fmt.Errorf("fsstore: P%d seq %d: delta chain base %d: %w", s.proc, sr.Seq, base, err)
+		}
+		if bsr.Kind == segFull {
+			if bsr.State == nil {
+				return ckptState{}, fmt.Errorf("fsstore: P%d seq %d: chain base %d without state", s.proc, sr.Seq, base)
+			}
+			st = *bsr.State
+			break
+		}
+		chain = append(chain, &bsr)
+		base = bsr.Base
+		if len(chain) > len(s.index)+1 {
+			return ckptState{}, fmt.Errorf("fsstore: P%d seq %d: delta chain cycle", s.proc, sr.Seq)
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		st = applyDelta(st, chain[i].Seq, chain[i].Delta)
+	}
+	return st, nil
+}
+
+// loadLegacy reads one finalized checkpoint from the legacy per-seq
+// file pair (state json + log jsonl) — the format stores wrote before
+// the segmented log.
+func (s *Store) loadLegacy(seq int) (checkpoint.Record, error) {
 	var rec checkpoint.Record
 	raw, err := os.ReadFile(s.ckptPath(seq))
 	if err != nil {
@@ -432,42 +1000,42 @@ func (s *Store) Load(seq int) (checkpoint.Record, error) {
 	if err := json.Unmarshal(raw, &st); err != nil {
 		return rec, fmt.Errorf("fsstore: corrupt checkpoint P%d seq %d: %w", s.proc, seq, err)
 	}
-	rec.Tentative = st.Tentative
-	rec.FinalizedAt = des.Time(st.FinalizedAt)
-	rec.CFEFold = st.CFEFold
-	rec.CFEWork = st.CFEWork
-	rec.CFEProgress = st.CFEProgress
-	rec.StableAt = des.Time(st.StableAt)
-
 	lraw, err := os.ReadFile(s.logPath(seq))
 	if err != nil {
 		if os.IsNotExist(err) && st.LogEntries == 0 {
-			return rec, nil
+			return recordOf(st, nil), nil
 		}
 		return rec, err
 	}
+	var log []checkpoint.LoggedMsg
 	dec := json.NewDecoder(bytes.NewReader(lraw))
 	for dec.More() {
 		var m checkpoint.LoggedMsg
 		if err := dec.Decode(&m); err != nil {
 			return rec, fmt.Errorf("fsstore: corrupt log P%d seq %d: %w", s.proc, seq, err)
 		}
-		rec.Log = append(rec.Log, m)
+		log = append(log, m)
 	}
+	rec = recordOf(st, log)
+	// The count lives in the checkpoint state file, not the manifest —
+	// a mismatch means the log file was torn or tampered with.
 	if len(rec.Log) != st.LogEntries {
-		return rec, fmt.Errorf("fsstore: P%d seq %d log has %d entries, manifest says %d",
+		return rec, fmt.Errorf("fsstore: P%d seq %d log has %d entries, checkpoint state says %d",
 			s.proc, seq, len(rec.Log), st.LogEntries)
 	}
 	return rec, nil
 }
 
-// TruncateAfter removes finalized checkpoints with Seq > seq from disk and
-// from the manifest — a cluster-wide rollback discards checkpoints above
-// the recovery line so the restarted run can legitimately re-produce those
-// sequence numbers.
+// TruncateAfter removes finalized checkpoints with Seq > seq from the
+// manifest — a cluster-wide rollback discards checkpoints above the
+// recovery line so the restarted run can legitimately re-produce those
+// sequence numbers. Queued finalizations are flushed first; truncated
+// segment bytes stay in place (unreferenced, reclaimed by GCTo or
+// overwritten on reuse), legacy per-seq files are removed.
 func (s *Store) TruncateAfter(seq int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.drainLocked()
 	keep := s.man.Seqs[:0]
 	var drop []int
 	for _, q := range s.man.Seqs {
@@ -481,20 +1049,157 @@ func (s *Store) TruncateAfter(seq int) error {
 		return nil
 	}
 	s.man.Seqs = keep
-	mdata, err := json.MarshalIndent(&s.man, "", " ")
-	if err != nil {
+	// Manifest first: once it no longer references the dropped seqs, the
+	// stale bytes and files are invisible garbage even if removal is
+	// interrupted.
+	if err := s.writeManifestLocked(); err != nil {
+		s.man.Seqs = append(s.man.Seqs, drop...)
 		return err
 	}
-	// Manifest first: once it no longer references the dropped seqs, the
-	// stale files are invisible garbage even if removal is interrupted.
-	if err := s.writeAtomic(filepath.Join(s.dir, "MANIFEST.json"), mdata); err != nil {
+	for _, q := range drop {
+		delete(s.index, q)
+		//ocsml:errsink manifest no longer references these seqs; removal is opportunistic GC
+		os.Remove(s.ckptPath(q))
+		//ocsml:errsink manifest no longer references these seqs; removal is opportunistic GC
+		os.Remove(s.logPath(q))
+	}
+	// The next record's delta base would be a discarded state: force a
+	// full snapshot so surviving chains never cross the rollback.
+	s.haveLast = false
+	s.sinceFull = 0
+	return s.syncDir()
+}
+
+// GCTo garbage-collects checkpoints below the globally finalized
+// watermark wm (the last complete S_k across all manifests): records
+// with Seq < wm leave the manifest, segments no live record references
+// are unlinked, and legacy per-seq files below the watermark are
+// removed. If the watermark record is a delta it is first compacted to
+// a full snapshot (appended like a group commit of one), so surviving
+// chains resolve without the collected records. Seqs the store never
+// had — or a watermark it does not hold — make GCTo a no-op, so callers
+// may poll with whatever line the manifests intersect to.
+func (s *Store) GCTo(wm int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wm <= 0 || len(s.man.Seqs) == 0 || s.man.Seqs[0] >= wm {
+		return nil
+	}
+	hasWm := false
+	for _, q := range s.man.Seqs {
+		if q == wm {
+			hasWm = true
+			break
+		}
+	}
+	if !hasWm {
+		return nil
+	}
+
+	// 1. Compaction: the watermark must stand alone. A delta watermark
+	// is re-appended as a full snapshot (crash boundary: bytes beyond
+	// the durable size are harmless until the manifest below commits).
+	loc, inSeg := s.index[wm]
+	if inSeg && loc.kind == segDelta {
+		rec, err := s.loadLocked(wm)
+		if err != nil {
+			return err
+		}
+		st := stateOf(rec)
+		sr := segRecord{Seq: wm, Kind: segFull, State: &st, Log: rec.Log}
+		payload, err := json.Marshal(&sr)
+		if err != nil {
+			return err
+		}
+		segIdx, writeOff := 1, int64(0)
+		newSeg := true
+		if k := len(s.man.Segments); k > 0 {
+			last := s.man.Segments[k-1]
+			if last.Size < s.opts.SegmentMaxBytes {
+				segIdx, writeOff, newSeg = last.Index, last.Size, false
+			} else {
+				segIdx = last.Index + 1
+			}
+		}
+		var buf []byte
+		if newSeg {
+			buf = segmentHeader(s.proc, segIdx)
+		}
+		off := writeOff + int64(len(buf))
+		buf = appendFrame(buf, payload)
+		if err := writeSegment(SegmentFile(s.dir, segIdx), buf, writeOff); err != nil {
+			return err
+		}
+		s.noteWriteLocked(int64(len(buf)), 1)
+		if newSeg {
+			if err := s.syncDir(); err != nil {
+				return err
+			}
+			s.noteWriteLocked(0, 1)
+			s.man.Segments = append(append([]SegmentMeta(nil), s.man.Segments...),
+				SegmentMeta{Index: segIdx, Size: writeOff + int64(len(buf))})
+		} else {
+			segs := append([]SegmentMeta(nil), s.man.Segments...)
+			segs[len(segs)-1].Size = writeOff + int64(len(buf))
+			s.man.Segments = segs
+		}
+		s.index[wm] = recLoc{seg: segIdx, off: off, size: writeOff + int64(len(buf)) - off, kind: segFull}
+		// The compacted snapshot is the freshest committed state: keep
+		// the delta base tracking coherent with what Load now returns.
+		if s.haveLast && s.lastState.Seq == wm {
+			s.lastState = st
+		}
+	}
+
+	// 2. Drop the collected seqs from the manifest and prune segments no
+	// surviving record lives in.
+	keep := make([]int, 0, len(s.man.Seqs))
+	var drop []int
+	for _, q := range s.man.Seqs {
+		if q >= wm {
+			keep = append(keep, q)
+		} else {
+			drop = append(drop, q)
+		}
+	}
+	for _, q := range drop {
+		delete(s.index, q)
+	}
+	live := map[int]bool{}
+	for _, l := range s.index {
+		live[l.seg] = true
+	}
+	keptSegs := make([]SegmentMeta, 0, len(s.man.Segments))
+	var deadSegs []int
+	for i, meta := range s.man.Segments {
+		if live[meta.Index] || i == len(s.man.Segments)-1 {
+			keptSegs = append(keptSegs, meta) // the active segment always stays
+		} else {
+			deadSegs = append(deadSegs, meta.Index)
+		}
+	}
+	oldSeqs, oldSegs := s.man.Seqs, s.man.Segments
+	s.man.Seqs, s.man.Segments = keep, keptSegs
+
+	// Manifest first: after it commits, the dead segments and legacy
+	// files are unreferenced garbage; a crash mid-removal leaves
+	// orphans Open's sweep deletes.
+	if err := s.writeManifestLocked(); err != nil {
+		s.man.Seqs, s.man.Segments = oldSeqs, oldSegs
 		return err
+	}
+	for _, idx := range deadSegs {
+		//ocsml:errsink manifest no longer references this segment; removal is opportunistic GC
+		os.Remove(SegmentFile(s.dir, idx))
 	}
 	for _, q := range drop {
 		//ocsml:errsink manifest no longer references these seqs; removal is opportunistic GC
 		os.Remove(s.ckptPath(q))
 		//ocsml:errsink manifest no longer references these seqs; removal is opportunistic GC
 		os.Remove(s.logPath(q))
+	}
+	if m := s.metrics; m != nil {
+		m.GCRemoved.Add(int64(len(drop)))
 	}
 	return s.syncDir()
 }

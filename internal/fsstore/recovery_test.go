@@ -189,31 +189,30 @@ func TestTornManifestRebuild(t *testing.T) {
 }
 
 // TestTornManifestRebuildSkipsTornCheckpoint: the rebuild admits only
-// checkpoints whose state parses and whose log is complete; a checkpoint
-// torn by the same crash is left out rather than resurrected.
+// checkpoints whose bytes verify; legacy per-seq records torn by the
+// same crash are left out rather than resurrected. The store is
+// fabricated in the legacy format (per-seq state + log files, no
+// segments) — what a pre-segmented-log datadir looks like on upgrade.
 func TestTornManifestRebuildSkipsTornCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, 0, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
 	for seq := 1; seq <= 3; seq++ {
-		if err := s.Finalize(rec(0, seq, 2)); err != nil {
-			t.Fatal(err)
-		}
+		writeLegacyRecord(t, dir, rec(0, seq, 2))
 	}
-	if err := os.WriteFile(filepath.Join(s.Dir(), "MANIFEST.json"), []byte(`{"proc":0,`), 0o644); err != nil {
+	pdir := ProcDir(dir, 0)
+	if err := os.WriteFile(filepath.Join(pdir, "MANIFEST.json"), []byte(`{"proc":0,`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	// Tear checkpoint 3's state file and checkpoint 2's log.
-	if err := os.WriteFile(s.ckptPath(3), []byte(`{"proc":0,"seq":3,`), 0o644); err != nil {
+	ckpt3 := filepath.Join(pdir, "ckpt_000003.json")
+	if err := os.WriteFile(ckpt3, []byte(`{"proc":0,"seq":3,`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	lraw, err := os.ReadFile(s.logPath(2))
+	log2 := filepath.Join(pdir, "log_000002.jsonl")
+	lraw, err := os.ReadFile(log2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(s.logPath(2), lraw[:len(lraw)-4], 0o644); err != nil {
+	if err := os.WriteFile(log2, lraw[:len(lraw)-4], 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,326 @@
+package fsstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"ocsml/internal/checkpoint"
+	"ocsml/internal/des"
+)
+
+// The segmented append-only log. Finalized checkpoints are framed
+// records appended to numbered segment files:
+//
+//	<datadir>/p<id>/seg_000001.wal
+//
+// Each file starts with a fixed header (magic, owning proc, segment
+// index) and then carries CRC-framed records:
+//
+//	[u32le payload length][u32le CRC-32 (IEEE) of payload][JSON payload]
+//
+// The manifest's Segments list records, per segment, the durable byte
+// length the last group commit covered. Bytes beyond that length are an
+// interrupted batch — never referenced, overwritten by the next commit,
+// truncated away on Open. Scanning a segment therefore reads exactly
+// the manifest's durable prefix; a CRC mismatch inside it means
+// external corruption and triggers a manifest rebuild.
+
+const (
+	segMagic       = "OCSMSEG1"
+	segHeaderSize  = len(segMagic) + 8 // magic + u32 proc + u32 index
+	frameHeader    = 8                 // u32 length + u32 crc
+	maxFrameLength = 1 << 30
+)
+
+// Record kinds inside a segment.
+const (
+	segFull  = "full"  // complete checkpoint state
+	segDelta = "delta" // changed fields against the Base record's state
+)
+
+// segRecord is one framed entry of a segment: a finalized checkpoint,
+// either as a full state snapshot or as a delta against its predecessor
+// (Base). The message log always travels complete — selective logging
+// already minimized it, and replay needs the exact entries.
+type segRecord struct {
+	Seq  int    `json:"seq"`
+	Kind string `json:"kind"`
+	// Base is the sequence number the delta applies on top of
+	// (meaningful only for Kind == segDelta).
+	Base  int                    `json:"base,omitempty"`
+	State *ckptState             `json:"state,omitempty"`
+	Delta *stateDelta            `json:"delta,omitempty"`
+	Log   []checkpoint.LoggedMsg `json:"log,omitempty"`
+}
+
+// stateDelta is the incremental-checkpoint encoding: exactly the
+// ckptState fields that changed since the base record, as typed
+// pointers. Explicit fields (not a generic JSON diff) so the uint64
+// folds never round-trip through float64.
+type stateDelta struct {
+	TakenAt     *int64  `json:"takenAt,omitempty"`
+	StateBytes  *int64  `json:"stateBytes,omitempty"`
+	Fold        *uint64 `json:"fold,omitempty"`
+	Work        *int64  `json:"work,omitempty"`
+	Progress    *int64  `json:"progress,omitempty"`
+	FlushedAt   *int64  `json:"flushedAt,omitempty"`
+	FinalizedAt *int64  `json:"finalizedAt,omitempty"`
+	CFEFold     *uint64 `json:"cfeFold,omitempty"`
+	CFEWork     *int64  `json:"cfeWork,omitempty"`
+	CFEProgress *int64  `json:"cfeProgress,omitempty"`
+	StableAt    *int64  `json:"stableAt,omitempty"`
+	LogEntries  *int    `json:"logEntries,omitempty"`
+}
+
+// diffState computes the delta that turns prev into cur. Proc and Seq
+// are carried by the frame itself (segRecord.Seq), not the delta.
+func diffState(prev, cur ckptState) stateDelta {
+	var d stateDelta
+	if prev.TakenAt != cur.TakenAt {
+		v := int64(cur.TakenAt)
+		d.TakenAt = &v
+	}
+	if prev.StateBytes != cur.StateBytes {
+		v := cur.StateBytes
+		d.StateBytes = &v
+	}
+	if prev.Fold != cur.Fold {
+		v := cur.Fold
+		d.Fold = &v
+	}
+	if prev.Work != cur.Work {
+		v := cur.Work
+		d.Work = &v
+	}
+	if prev.Progress != cur.Progress {
+		v := cur.Progress
+		d.Progress = &v
+	}
+	if prev.FlushedAt != cur.FlushedAt {
+		v := int64(cur.FlushedAt)
+		d.FlushedAt = &v
+	}
+	if prev.FinalizedAt != cur.FinalizedAt {
+		v := cur.FinalizedAt
+		d.FinalizedAt = &v
+	}
+	if prev.CFEFold != cur.CFEFold {
+		v := cur.CFEFold
+		d.CFEFold = &v
+	}
+	if prev.CFEWork != cur.CFEWork {
+		v := cur.CFEWork
+		d.CFEWork = &v
+	}
+	if prev.CFEProgress != cur.CFEProgress {
+		v := cur.CFEProgress
+		d.CFEProgress = &v
+	}
+	if prev.StableAt != cur.StableAt {
+		v := int64(cur.StableAt)
+		d.StableAt = &v
+	}
+	if prev.LogEntries != cur.LogEntries {
+		v := cur.LogEntries
+		d.LogEntries = &v
+	}
+	return d
+}
+
+// applyDelta overlays d on base and stamps the target sequence number.
+func applyDelta(base ckptState, seq int, d *stateDelta) ckptState {
+	st := base
+	st.Seq = seq
+	if d == nil {
+		return st
+	}
+	if d.TakenAt != nil {
+		st.TakenAt = des.Time(*d.TakenAt)
+	}
+	if d.StateBytes != nil {
+		st.StateBytes = *d.StateBytes
+	}
+	if d.Fold != nil {
+		st.Fold = *d.Fold
+	}
+	if d.Work != nil {
+		st.Work = *d.Work
+	}
+	if d.Progress != nil {
+		st.Progress = *d.Progress
+	}
+	if d.FlushedAt != nil {
+		st.FlushedAt = des.Time(*d.FlushedAt)
+	}
+	if d.FinalizedAt != nil {
+		st.FinalizedAt = *d.FinalizedAt
+	}
+	if d.CFEFold != nil {
+		st.CFEFold = *d.CFEFold
+	}
+	if d.CFEWork != nil {
+		st.CFEWork = *d.CFEWork
+	}
+	if d.CFEProgress != nil {
+		st.CFEProgress = *d.CFEProgress
+	}
+	if d.StableAt != nil {
+		st.StableAt = *d.StableAt
+	}
+	if d.LogEntries != nil {
+		st.LogEntries = *d.LogEntries
+	}
+	return st
+}
+
+// SegmentFile returns the path of segment index inside a process's
+// store directory (dir is ProcDir(datadir, proc)). Exported for the
+// chaos runner, which plants torn-segment crash debris from outside the
+// package.
+func SegmentFile(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg_%06d.wal", index))
+}
+
+// parseSegmentName extracts the index from a segment file name.
+func parseSegmentName(name string) (index int, ok bool) {
+	if _, err := fmt.Sscanf(name, "seg_%06d.wal", &index); err != nil {
+		return 0, false
+	}
+	return index, true
+}
+
+// segmentHeader encodes the fixed file header.
+func segmentHeader(proc, index int) []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	binary.LittleEndian.PutUint32(h[len(segMagic):], uint32(proc))
+	binary.LittleEndian.PutUint32(h[len(segMagic)+4:], uint32(index))
+	return h
+}
+
+// parseSegmentHeader validates a file header against the expected
+// owner and index.
+func parseSegmentHeader(b []byte, proc, index int) error {
+	if len(b) < segHeaderSize || string(b[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("fsstore: segment %d: bad or torn header", index)
+	}
+	p := int(binary.LittleEndian.Uint32(b[len(segMagic):]))
+	idx := int(binary.LittleEndian.Uint32(b[len(segMagic)+4:]))
+	if p != proc || idx != index {
+		return fmt.Errorf("fsstore: segment %d: header claims P%d seg %d", index, p, idx)
+	}
+	return nil
+}
+
+// appendFrame frames payload onto buf: length, CRC, bytes.
+func appendFrame(buf, payload []byte) []byte {
+	var h [frameHeader]byte
+	binary.LittleEndian.PutUint32(h[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, h[:]...)
+	return append(buf, payload...)
+}
+
+// recLoc locates one checkpoint record inside the segmented log, plus
+// the chain metadata Load needs to resolve deltas without re-reading.
+type recLoc struct {
+	seg  int   // segment index
+	off  int64 // frame offset within the file
+	size int64 // frame length including the frame header
+	kind string
+	base int
+}
+
+// scannedFrame is one decoded frame of a segment scan.
+type scannedFrame struct {
+	loc recLoc
+	rec segRecord
+}
+
+// scanSegment reads one segment file up to limit bytes (limit < 0 means
+// the whole file) and decodes its frames. strict scans must parse every
+// byte of the limit — a short or corrupt frame inside the durable
+// prefix is an error; tolerant scans (manifest rebuild) stop at the
+// first bad frame and report the valid prefix length instead.
+func scanSegment(path string, proc, index int, limit int64, strict bool) (frames []scannedFrame, valid int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if limit >= 0 && int64(len(data)) > limit {
+		data = data[:limit]
+	}
+	if err := parseSegmentHeader(data, proc, index); err != nil {
+		if strict {
+			return nil, 0, err
+		}
+		return nil, 0, nil
+	}
+	off := int64(segHeaderSize)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		bad := func(format string, args ...any) ([]scannedFrame, int64, error) {
+			if strict {
+				return nil, off, fmt.Errorf("fsstore: segment %d offset %d: %s", index, off, fmt.Sprintf(format, args...))
+			}
+			return frames, off, nil
+		}
+		if len(rest) < frameHeader {
+			return bad("torn frame header")
+		}
+		n := binary.LittleEndian.Uint32(rest[0:])
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxFrameLength || int64(frameHeader)+int64(n) > int64(len(rest)) {
+			return bad("torn frame body (%d bytes claimed)", n)
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return bad("frame CRC mismatch")
+		}
+		var rec segRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return bad("frame payload: %v", err)
+		}
+		frames = append(frames, scannedFrame{
+			loc: recLoc{
+				seg: index, off: off, size: int64(frameHeader) + int64(n),
+				kind: rec.Kind, base: rec.Base,
+			},
+			rec: rec,
+		})
+		off += int64(frameHeader) + int64(n)
+	}
+	return frames, off, nil
+}
+
+// readSegRecord re-reads one framed record from disk and verifies its
+// CRC — the Load-time counterpart of scanSegment for a single frame.
+func (s *Store) readSegRecord(loc recLoc) (segRecord, error) {
+	var rec segRecord
+	f, err := os.Open(SegmentFile(s.dir, loc.seg))
+	if err != nil {
+		return rec, err
+	}
+	defer f.Close()
+	buf := make([]byte, loc.size)
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		return rec, fmt.Errorf("fsstore: P%d segment %d offset %d: %w", s.proc, loc.seg, loc.off, err)
+	}
+	n := binary.LittleEndian.Uint32(buf[0:])
+	crc := binary.LittleEndian.Uint32(buf[4:])
+	if int64(frameHeader)+int64(n) != loc.size {
+		return rec, fmt.Errorf("fsstore: P%d segment %d offset %d: frame length changed under the index", s.proc, loc.seg, loc.off)
+	}
+	payload := buf[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return rec, fmt.Errorf("fsstore: P%d segment %d offset %d: frame CRC mismatch", s.proc, loc.seg, loc.off)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("fsstore: P%d segment %d offset %d: %w", s.proc, loc.seg, loc.off, err)
+	}
+	return rec, nil
+}

@@ -64,4 +64,6 @@ var headlines = map[string]headline{
 	"A4":  {"kt-local-blocked-s", lastWhere(0, "koo-toueg"), 4},
 	"W1":  {"wire-encode-allocs-per-msg", lastWhere(0, "encode-v2-delta"), 1},
 	"W2":  {"wire-mesh-msgs-per-sec-per-node", fixed(0), 1},
+	"D1":  {"durability-fsyncs-per-finalize-depth8", lastWhere(0, "8"), 2},
+	"D2":  {"durability-replay-ms", lastRow, 1},
 }

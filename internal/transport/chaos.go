@@ -57,6 +57,9 @@ func DefaultChaosConfig(n int, seed int64, datadir string, faultFor time.Duratio
 			WriteBandwidth: 64 << 20,
 			Timeout:        5 * time.Minute,
 			Drain:          500 * time.Millisecond,
+			// Chaos runs the S_k garbage collector aggressively so the
+			// GC/recovery/crash interleavings get real coverage.
+			GCInterval: 300 * time.Millisecond,
 		},
 		Profile:  faultnet.DefaultProfile(n, faultFor),
 		Converge: 20 * time.Second,
@@ -170,10 +173,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		}
 		c.Kill(cr.Proc)
 		time.Sleep(50 * time.Millisecond) // let in-flight traffic hit the dead socket
-		if cr.TearTemp {
-			if err := tearTemp(datadir, cr.Proc); err != nil {
-				return rep, err
-			}
+		if err := plantDebris(datadir, cr.Proc, cr.Tear); err != nil {
+			return rep, err
 		}
 		if cr.Down > 0 {
 			time.Sleep(cr.Down)
@@ -203,6 +204,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	rep.Invariants = []Invariant{
 		orphans,
 		replay,
+		verifyManifestIntegrity(datadir, n),
 		{Name: "post-restart-convergence", OK: convergeOK, Detail: convergeDetail},
 		verifyWireRecovery(rep.Counters, rep.Restarts, n),
 	}
@@ -282,6 +284,45 @@ func verifyExactlyOnceReplay(datadir string, n int) Invariant {
 	return iv
 }
 
+// verifyManifestIntegrity checks the durability engine's core promise
+// directly: after the run — crashes, planted commit-boundary debris,
+// group commits, segment rotation, GC sweeps and all — no manifest
+// points at missing data. Every store reopens cleanly and every
+// manifested record loads, including full replay of incremental chains.
+func verifyManifestIntegrity(datadir string, n int) Invariant {
+	iv := Invariant{Name: "manifest-integrity"}
+	for p := 0; p < n; p++ {
+		before, err := fsstore.ReadManifest(datadir, p)
+		if err != nil {
+			iv.Detail = err.Error()
+			return iv
+		}
+		s, err := fsstore.Open(datadir, p, n)
+		if err != nil {
+			iv.Detail = fmt.Sprintf("P%d reopen: %v", p, err)
+			return iv
+		}
+		// Open may only neutralize unreferenced debris — it must not have
+		// dropped anything the pre-open manifest referenced.
+		after := map[int]bool{}
+		for _, seq := range s.Manifest().Seqs {
+			after[seq] = true
+		}
+		for _, seq := range before.Seqs {
+			if !after[seq] {
+				iv.Detail = fmt.Sprintf("P%d: manifested seq %d lost on reopen", p, seq)
+				return iv
+			}
+			if _, err := s.Load(seq); err != nil {
+				iv.Detail = fmt.Sprintf("P%d: manifest points at unloadable seq %d: %v", p, seq, err)
+				return iv
+			}
+		}
+	}
+	iv.OK = true
+	return iv
+}
+
 // verifyWireRecovery checks that every restart went through the wire
 // protocol exactly once per participant: one coordinated round per
 // restart, and every survivor rolled back via an accepted RB_CMT (the
@@ -302,17 +343,72 @@ func verifyWireRecovery(counters map[string]int64, restarts, n int) Invariant {
 	return iv
 }
 
-// tearTemp plants the debris of a crash between an atomic write and its
-// rename: a partially written manifest in a ".tmp-" file inside the
-// victim's store directory. fsstore.Open must discard it on restart.
-func tearTemp(datadir string, proc int) error {
+// plantDebris plants the crash-point debris the schedule picked for a
+// crash: what the victim's store directory looks like when the process
+// dies exactly on one of the durability engine's commit boundaries.
+// fsstore.Open must neutralize every kind on restart (sweep, truncate,
+// or rebuild) without ever losing a manifested record.
+func plantDebris(datadir string, proc int, kind string) error {
 	dir := fsstore.ProcDir(datadir, proc)
-	man, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
-	if err != nil {
-		man = []byte(`{"proc":0,"n":0,"seqs":[1,2,`)
+	switch kind {
+	case faultnet.TearNone:
+		return nil
+	case faultnet.TearTemp:
+		// Crash between an atomic write and its rename: a partially
+		// written manifest in a ".tmp-" file.
+		man, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+		if err != nil {
+			man = []byte(`{"proc":0,"n":0,"seqs":[1,2,`)
+		}
+		torn := man[:len(man)/2] // cut mid-JSON: unparseable by construction
+		return os.WriteFile(filepath.Join(dir, ".tmp-chaos-torn"), torn, 0o644)
+	case faultnet.TearSegHeader:
+		// Crash while rotating to a fresh segment: half a header, no
+		// manifest reference.
+		m, err := fsstore.ReadManifest(datadir, proc)
+		if err != nil {
+			return err
+		}
+		next := 1
+		if k := len(m.Segments); k > 0 {
+			next = m.Segments[k-1].Index + 1
+		}
+		return os.WriteFile(fsstore.SegmentFile(dir, next), []byte("OCSM"), 0o644)
+	case faultnet.TearSegTail:
+		// Crash mid group-commit append: garbage beyond the active
+		// segment's durable size. Without segments yet there is nothing
+		// to tear — equivalent to crashing before the batch's first byte.
+		m, err := fsstore.ReadManifest(datadir, proc)
+		if err != nil || len(m.Segments) == 0 {
+			return err
+		}
+		last := m.Segments[len(m.Segments)-1]
+		f, err := os.OpenFile(fsstore.SegmentFile(dir, last.Index), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("\xde\xad\xbe\xef torn group-commit batch")); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	case faultnet.TearGCSeg:
+		// Crash between the GC's manifest commit and the segment unlink: a
+		// valid but unreferenced segment file (cloned from a live one).
+		m, err := fsstore.ReadManifest(datadir, proc)
+		if err != nil || len(m.Segments) == 0 {
+			return err
+		}
+		src := fsstore.SegmentFile(dir, m.Segments[0].Index)
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		orphan := fsstore.SegmentFile(dir, m.Segments[len(m.Segments)-1].Index+7)
+		return os.WriteFile(orphan, raw, 0o644)
+	default:
+		return fmt.Errorf("transport: unknown tear kind %q", kind)
 	}
-	torn := man[:len(man)/2] // cut mid-JSON: unparseable by construction
-	return os.WriteFile(filepath.Join(dir, ".tmp-chaos-torn"), torn, 0o644)
 }
 
 // sleepUntil sleeps until the chaos timeline (anchored at base) reaches

@@ -53,6 +53,15 @@ type ClusterConfig struct {
 	// (a fresh one when nil). The free-form counter namespace lands in
 	// its events family; Counter/Counters read from there.
 	Metrics *metrics.Registry
+	// FSOptions tunes the durability engine of every node's store (group
+	// window, batch depth, segment size, snapshot cadence). Zero fields
+	// select fsstore defaults.
+	FSOptions fsstore.Options
+	// GCInterval, when positive, runs the storage garbage collector: a
+	// cluster goroutine periodically intersects the durable manifests and
+	// prunes every store below the globally finalized S_k watermark.
+	// Requires Datadir. Zero disables collection.
+	GCInterval time.Duration
 }
 
 // Cluster is a set of transport nodes sharing one recorder, checkpoint
@@ -67,7 +76,8 @@ type Cluster struct {
 
 	addrs []string
 	nodes []*Node // elements replaced under mu by Restart
-	fss   []*fsstore.Store
+	//ocsml:guardedby mu
+	fss   []*fsstore.Store // elements replaced under mu by Recover/Restart
 	base  time.Time
 	epoch int
 
@@ -80,6 +90,16 @@ type Cluster struct {
 
 	//ocsml:guardedby mu
 	makespan time.Duration
+
+	// recovering pauses the GC loop while Recover/Restart reload a
+	// victim's store — collecting below the line mid-reload would pull
+	// records the restart is about to read.
+	//ocsml:guardedby mu
+	recovering bool
+
+	gcQuit chan struct{}
+	gcOnce sync.Once // guards gcQuit close (Stop may run twice)
+	gcWG   sync.WaitGroup
 }
 
 // NewCluster binds N localhost listeners and builds the nodes. Nothing
@@ -108,6 +128,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		doneCh:  make(chan struct{}, 1),
 		nodes:   make([]*Node, cfg.N),
 		fss:     make([]*fsstore.Store, cfg.N),
+		gcQuit:  make(chan struct{}),
 	}
 	listeners := make([]net.Listener, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -123,7 +144,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.N; i++ {
 		if cfg.Datadir != "" {
-			fs, err := fsstore.Open(cfg.Datadir, i, cfg.N)
+			fs, err := fsstore.OpenWith(cfg.Datadir, i, cfg.N, cfg.FSOptions)
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +181,7 @@ func (c *Cluster) buildNode(i int, ln net.Listener, resume int, rec *checkpoint.
 		Metrics:        c.Metrics,
 		Hook:           c.cfg.Hook,
 		WireVersion:    c.cfg.WireVersion,
-		FS:             c.fss[i],
+		FS:             c.FS(i),
 		WriteBandwidth: c.cfg.WriteBandwidth,
 		Base:           c.base,
 		OnDone:         c.nodeDone,
@@ -188,13 +209,74 @@ func (c *Cluster) Nodes() []*Node {
 	return append([]*Node(nil), c.nodes...)
 }
 
-// FS returns process i's on-disk store (nil without a datadir).
-func (c *Cluster) FS(i int) *fsstore.Store { return c.fss[i] }
+// FS returns process i's on-disk store (nil without a datadir; the
+// current incarnation — Recover/Restart replace the element).
+func (c *Cluster) FS(i int) *fsstore.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fss[i]
+}
 
-// Start launches every node.
+// setFS swaps in a reopened store for process i.
+func (c *Cluster) setFS(i int, fs *fsstore.Store) {
+	c.mu.Lock()
+	c.fss[i] = fs
+	c.mu.Unlock()
+}
+
+// setRecovering flips the GC pause flag around a recovery.
+func (c *Cluster) setRecovering(v bool) {
+	c.mu.Lock()
+	c.recovering = v
+	c.mu.Unlock()
+}
+
+// Start launches every node, plus the storage GC loop when configured.
 func (c *Cluster) Start() {
 	for _, n := range c.nodes {
 		n.Start()
+	}
+	if c.cfg.Datadir != "" && c.cfg.GCInterval > 0 {
+		c.gcWG.Add(1)
+		go c.gcLoop()
+	}
+}
+
+// gcLoop periodically prunes every store below the globally finalized
+// S_k watermark: the intersection of the durable manifests is the last
+// checkpoint line recovery can ever need, so everything strictly below
+// it is dead weight (the paper's retention argument). Collection skips
+// ticks while a recovery is reloading a store.
+func (c *Cluster) gcLoop() {
+	defer c.gcWG.Done()
+	ticker := time.NewTicker(c.cfg.GCInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.gcQuit:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		paused := c.recovering
+		c.mu.Unlock()
+		if paused {
+			continue
+		}
+		wm, err := fsstore.LastCompleteSeq(c.cfg.Datadir, c.cfg.N)
+		if err != nil || wm <= 0 {
+			continue
+		}
+		for i := 0; i < c.cfg.N; i++ {
+			fs := c.FS(i)
+			if fs == nil {
+				continue
+			}
+			if err := fs.GCTo(wm); err != nil {
+				c.count("fsstore.gc_errors", 1)
+			}
+		}
+		c.count("fsstore.gc_sweeps", 1)
 	}
 }
 
@@ -240,8 +322,10 @@ func (c *Cluster) RunThen(beforeStop func()) error {
 	return nil
 }
 
-// Stop closes every node.
+// Stop closes every node and stops the GC loop.
 func (c *Cluster) Stop() {
+	c.gcOnce.Do(func() { close(c.gcQuit) })
+	c.gcWG.Wait()
 	for _, n := range c.Nodes() {
 		if n != nil {
 			n.Close()
@@ -268,18 +352,22 @@ func (c *Cluster) Kill(i int) {
 // state directly, so the in-process cluster and a multi-OS-process
 // deployment exercise one recovery code path. Returns the agreed line.
 func (c *Cluster) Recover(victim int) (int, error) {
-	if c.fss[victim] == nil {
+	if c.FS(victim) == nil {
 		return -1, fmt.Errorf("transport: recovery of P%d needs a datadir", victim)
 	}
+	// Pause the GC loop for the whole recovery: a sweep racing the
+	// reload below could collect records the restart is about to read.
+	c.setRecovering(true)
+	defer c.setRecovering(false)
 	// Reopen the store exactly as a fresh OS process would — Open clears
 	// crash debris and rebuilds a corrupt manifest — before voting with
 	// its manifest in the line intersection.
-	fs, err := fsstore.Open(c.cfg.Datadir, victim, c.cfg.N)
+	fs, err := fsstore.OpenWith(c.cfg.Datadir, victim, c.cfg.N, c.cfg.FSOptions)
 	if err != nil {
 		return -1, err
 	}
 	fs.SetMetrics(fsstore.NewStoreMetrics(c.Metrics, victim))
-	c.fss[victim] = fs
+	c.setFS(victim, fs)
 	ln, err := net.Listen("tcp", c.addrs[victim])
 	if err != nil {
 		return -1, err
@@ -306,18 +394,19 @@ func (c *Cluster) Recover(victim int) (int, error) {
 // Recover calls it after the wire handshake has rolled the survivors
 // back to the same line and advanced the cluster epoch.
 func (c *Cluster) Restart(i, line int) error {
-	if c.fss[i] == nil {
+	if c.FS(i) == nil {
 		return fmt.Errorf("transport: restart of P%d needs a datadir", i)
 	}
 	// Reopen the store, exactly as a fresh OS process would: Open clears
-	// crash debris (torn temp files) and rebuilds a corrupt manifest, so
-	// a restart exercises the same recovery path as a real daemon.
-	fs, err := fsstore.Open(c.cfg.Datadir, i, c.cfg.N)
+	// crash debris (torn temp files, orphan segments, torn batch tails)
+	// and rebuilds a corrupt manifest, so a restart exercises the same
+	// recovery path as a real daemon.
+	fs, err := fsstore.OpenWith(c.cfg.Datadir, i, c.cfg.N, c.cfg.FSOptions)
 	if err != nil {
 		return err
 	}
 	fs.SetMetrics(fsstore.NewStoreMetrics(c.Metrics, i))
-	c.fss[i] = fs
+	c.setFS(i, fs)
 	if err := fs.TruncateAfter(line); err != nil {
 		return err
 	}

@@ -401,10 +401,13 @@ func (n *Node) storageLoop() {
 	}
 }
 
-// persistFinalized writes newly finalized records to the fsstore. Runs
-// on the storage goroutine; the ProcStore is mutex-protected and the
-// persisted watermark is only touched here.
+// persistFinalized writes newly finalized records to the fsstore as one
+// group commit: every finalized-but-unpersisted record joins a single
+// FinalizeBatch, so a backlog of k checkpoints costs one fsync chain,
+// not k. Runs on the storage goroutine; the ProcStore is
+// mutex-protected and the persisted watermark is only touched here.
 func (n *Node) persistFinalized() {
+	var batch []checkpoint.Record
 	for _, rec := range n.cfg.Ckpts.Proc(n.cfg.ID).All() {
 		if rec.Seq <= n.persisted || rec.FinalizedAt == 0 {
 			continue
@@ -416,15 +419,22 @@ func (n *Node) persistFinalized() {
 			n.persisted = rec.Seq
 			continue
 		}
-		if err := n.cfg.FS.Finalize(rec); err != nil {
-			n.cfg.Count("fsstore.errors", 1)
-			// Stop here: advancing the watermark past a failed write
-			// would strand this seq forever, leaving a permanent gap in
-			// the manifest. The next flush retries from it.
-			break
-		}
-		n.persisted = rec.Seq
-		n.cfg.Count("fsstore.finalized", 1)
+		batch = append(batch, rec)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	committed, err := n.cfg.FS.FinalizeBatch(batch)
+	// Advance the watermark over exactly the committed prefix. On error,
+	// stop there: advancing past a failed write would strand its seq
+	// forever, leaving a permanent gap in the manifest; the next flush
+	// retries from it.
+	if committed > 0 {
+		n.persisted = batch[committed-1].Seq
+		n.cfg.Count("fsstore.finalized", int64(committed))
+	}
+	if err != nil {
+		n.cfg.Count("fsstore.errors", 1)
 	}
 }
 
