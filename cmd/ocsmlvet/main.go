@@ -1,4 +1,4 @@
-// Command ocsmlvet is the repository's analysis suite: seven custom
+// Command ocsmlvet is the repository's analysis suite: ten custom
 // analyzers that mechanically enforce the invariants the runtime
 // depends on but the compiler cannot see.
 //
@@ -22,16 +22,27 @@
 //	                   //ocsml:nopiggyback
 //	statemachine       every write to the //ocsml:state-annotated
 //	                   checkpoint status field is a declared transition
+//	loopowned          //ocsml:loopowned fields are read and written only
+//	                   on their owning event-loop goroutine or in closures
+//	                   posted to it (//ocsml:looppost, //ocsml:loopcontext)
+//	quitpath           every spawned goroutine has a proven termination
+//	                   path — a quit-channel select, a bounded loop, an
+//	                   error return — or an //ocsml:daemon opt-out
+//	allocfree          //ocsml:hotpath functions and everything they call
+//	                   stay allocation-free; cold paths carry
+//	                   //ocsml:alloc <why>
 //
 // Usage:
 //
-//	ocsmlvet [-list] [-json] [packages]
+//	ocsmlvet [-list] [-json] [-sarif] [-tags tag,list] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
 // status is 1 when any diagnostic is reported, 2 on a load error.
 // Diagnostics print in deterministic (file, line, column, analyzer)
 // order with exact duplicates removed; -json emits one JSON object per
-// finding, one per line, for tooling.
+// finding, one per line, for tooling, and -sarif emits a SARIF 2.1.0
+// log for GitHub code scanning. -tags adds build tags to file matching
+// (the soak harness files are analyzed with -tags soak).
 //
 // The suite is wired into `make lint` and CI; a finding is a build
 // failure, not advice. The analyzers are stdlib-only (go/parser +
@@ -47,12 +58,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"ocsml/internal/analysis/allocfree"
 	"ocsml/internal/analysis/detclean"
 	"ocsml/internal/analysis/errflow"
 	"ocsml/internal/analysis/fsyncorder"
 	"ocsml/internal/analysis/lockdiscipline"
+	"ocsml/internal/analysis/loopowned"
 	"ocsml/internal/analysis/piggybackcomplete"
+	"ocsml/internal/analysis/quitpath"
 	"ocsml/internal/analysis/statemachine"
 	"ocsml/internal/analysis/vetkit"
 	"ocsml/internal/analysis/wireexhaustive"
@@ -67,6 +82,9 @@ var analyzers = []*vetkit.Analyzer{
 	errflow.Analyzer,
 	piggybackcomplete.Analyzer,
 	statemachine.Analyzer,
+	loopowned.Analyzer,
+	quitpath.Analyzer,
+	allocfree.Analyzer,
 }
 
 // finding is the -json wire format: one object per diagnostic, one per
@@ -83,6 +101,8 @@ type finding struct {
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout")
+	tags := flag.String("tags", "", "comma-separated build tags for file matching")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -98,6 +118,9 @@ func main() {
 	loader, modPath, err := vetkit.ModuleLoader(cwd)
 	if err != nil {
 		fatal(err)
+	}
+	if *tags != "" {
+		loader.SetBuildTags(strings.Split(*tags, ","))
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -148,15 +171,22 @@ func main() {
 		}
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	for _, f := range findings {
-		if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, cwd, findings); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
 			if err := enc.Encode(f); err != nil {
 				fatal(err)
 			}
-			continue
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
 
 	if len(findings) > 0 {

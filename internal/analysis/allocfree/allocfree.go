@@ -1,0 +1,425 @@
+// Package allocfree proves the annotated hot paths allocation-free by
+// a stdlib-only escape approximation. PR 7's zero-alloc wire path is
+// guarded by runtime alloc gates (testing.AllocsPerRun), which race
+// builds and soak tags routinely skip; allocfree makes the property a
+// compile-time check on every vet run.
+//
+// A function marked
+//
+//	//ocsml:hotpath
+//
+// in its doc comment is a root. The analyzer checks the root and every
+// function it statically calls (transitively, within the program) for
+// operations that allocate or may allocate:
+//
+//   - heap-escaping composite literals (&T{...}), and slice or map
+//     literals;
+//   - make, new, and goroutine spawns;
+//   - append that starts from a fresh slice (nil, a literal, a make) or
+//     binds its result to a new variable — `x = append(x, ...)` and
+//     appends onto a reslice of a reused buffer (`append(buf[:0], ...)`)
+//     are the amortized pooled idiom and pass;
+//   - closure creation (captured variables escape), except literals
+//     invoked or deferred in place;
+//   - fmt and errors.New calls;
+//   - string<->[]byte/[]rune conversions and non-constant string
+//     concatenation;
+//   - interface boxing: passing a non-pointer-shaped value (anything
+//     but a pointer, chan, map, or func) as an interface argument.
+//
+// A cold path inside a hot function — error formatting for corrupt
+// input, a once-per-connection fallback — opts out per line with
+// //ocsml:alloc <why>; a whole callee opts out of the transitive check
+// with //ocsml:alloc in its doc comment, and calls to such a callee are
+// themselves cold (the boxing of their arguments is not flagged).
+// Functions without source (the stdlib) are trusted: the binary.Append*
+// family appends into caller buffers and is covered by the runtime
+// gates.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"ocsml/internal/analysis/vetkit"
+)
+
+// Analyzer is the allocfree analysis.
+var Analyzer = &vetkit.Analyzer{
+	Name: "allocfree",
+	Doc:  "//ocsml:hotpath functions and their callees do not allocate",
+	Run:  run,
+}
+
+type finding struct {
+	pkg *types.Package
+	pos token.Pos
+	msg string
+}
+
+type progFacts struct {
+	findings []finding
+}
+
+var cache = map[*vetkit.Program]*progFacts{}
+
+func run(pass *vetkit.Pass) error {
+	pf, ok := cache[pass.Program]
+	if !ok {
+		pf = build(pass.Program)
+		cache[pass.Program] = pf
+	}
+	for _, f := range pf.findings {
+		if f.pkg == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// build walks every hot path once per program.
+func build(prog *vetkit.Program) *progFacts {
+	pf := &progFacts{}
+	at := prog.Attribution()
+	cg := prog.CallGraph()
+	dirs := prog.Directives()
+
+	// Roots: //ocsml:hotpath functions, in deterministic order.
+	type root struct {
+		fn   *types.Func
+		name string
+	}
+	var roots []root
+	var paths []string
+	for path := range prog.Packages {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg := prog.Packages[path]
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if !vetkit.CommentGroupHas(fd.Doc, "hotpath") && !dirs.Has(fd.Pos(), "hotpath") {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, root{fn, displayName(fn)})
+				}
+			}
+		}
+	}
+
+	// BFS over static calls; each function is checked once, attributed
+	// to the first root that reaches it.
+	checked := map[*types.Func]bool{}
+	queue := roots
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if checked[r.fn] {
+			continue
+		}
+		checked[r.fn] = true
+		node := cg.Node(r.fn)
+		if node == nil || node.Decl == nil {
+			continue
+		}
+		body := at.ByNode[node.Decl]
+		for _, callee := range pf.checkBodyTree(prog, at, dirs, body, r.name) {
+			if !checked[callee] {
+				queue = append(queue, root{callee, r.name})
+			}
+		}
+	}
+	return pf
+}
+
+// checkBodyTree flags allocation sites in one body and the literals
+// that run in its context, returning the static callees to descend
+// into.
+func (pf *progFacts) checkBodyTree(prog *vetkit.Program, at *vetkit.Attribution, dirs *vetkit.Directives, b *vetkit.Body, rootName string) []*types.Func {
+	if b == nil {
+		return nil
+	}
+	var callees []*types.Func
+	var root *ast.BlockStmt
+	if b.Lit != nil {
+		root = b.Lit.Body
+	} else {
+		root = b.Decl.Body
+	}
+	pf.checkBlock(prog, at, dirs, b, root, rootName)
+	cg := prog.CallGraph()
+	for _, c := range b.Calls {
+		if c.Callee == nil || c.Dynamic {
+			continue
+		}
+		node := cg.Node(c.Callee)
+		if node == nil || node.Decl == nil {
+			continue // no source: stdlib, trusted
+		}
+		if vetkit.CommentGroupHas(node.Decl.Doc, "alloc") {
+			continue // annotated cold callee
+		}
+		callees = append(callees, c.Callee)
+	}
+	for _, nested := range at.Bodies {
+		if nested.Parent == b && (nested.Use == vetkit.UseCall || nested.Use == vetkit.UseDefer) {
+			callees = append(callees, pf.checkBodyTree(prog, at, dirs, nested, rootName)...)
+		}
+	}
+	return callees
+}
+
+// checkBlock flags the allocation sites lexically inside one body.
+func (pf *progFacts) checkBlock(prog *vetkit.Program, at *vetkit.Attribution, dirs *vetkit.Directives, b *vetkit.Body, root *ast.BlockStmt, rootName string) {
+	if root == nil {
+		return
+	}
+	pkg := b.Pkg
+	flag := func(pos token.Pos, what string) {
+		if dirs.Has(pos, "alloc") {
+			return
+		}
+		pf.findings = append(pf.findings, finding{pkg.Types, pos,
+			what + " in //ocsml:hotpath " + rootName + " (//ocsml:alloc <why> to allow a cold path)"})
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if nb := at.ByNode[n]; nb != nil && (nb.Use == vetkit.UseCall || nb.Use == vetkit.UseDefer) {
+				return false // runs in place; checked as its own body
+			}
+			flag(n.Pos(), "closure allocates")
+			return false
+		case *ast.GoStmt:
+			flag(n.Pos(), "spawning a goroutine allocates")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flag(n.Pos(), "composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			switch pkg.Info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				flag(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				flag(n.Pos(), "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := pkg.Info.Types[n]
+				if basic, ok := tv.Type.Underlying().(*types.Basic); ok &&
+					basic.Info()&types.IsString != 0 && tv.Value == nil {
+					flag(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.CallExpr:
+			pf.checkCall(prog, pkg, n, flag)
+		}
+		return true
+	})
+	// The fresh-append rule needs assignment context, which Inspect has
+	// already discarded; re-walk statements.
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if call := appendCall(pkg, rhs); call != nil && !freshSlice(pkg, call.Args[0]) {
+					if _, resliced := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !resliced {
+						flag(call.Pos(), "append bound to a new variable allocates (reslice a reused buffer or assign in place)")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if call := appendCall(pkg, v); call != nil && !freshSlice(pkg, call.Args[0]) {
+					if _, resliced := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !resliced {
+						flag(call.Pos(), "append bound to a new variable allocates (reslice a reused buffer or assign in place)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating calls: builtins, fmt/errors, string
+// conversions, fresh appends, and interface boxing of the arguments.
+func (pf *progFacts) checkCall(prog *vetkit.Program, pkg *vetkit.Package, call *ast.CallExpr, flag func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && freshSlice(pkg, call.Args[0]) {
+					flag(call.Pos(), "append to a fresh slice allocates")
+				}
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := pkg.Info.Types[call.Args[0]].Type
+		if from != nil && stringBytesConversion(to, from.Underlying()) {
+			flag(call.Pos(), "string conversion allocates")
+		}
+		return
+	}
+	// fmt / errors.New.
+	if callee := vetkit.ResolveFuncExpr(pkg, nil, fun); callee != nil {
+		if callee.Pkg() != nil {
+			switch {
+			case callee.Pkg().Path() == "fmt":
+				flag(call.Pos(), "fmt."+callee.Name()+" allocates")
+				return
+			case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+				flag(call.Pos(), "errors.New allocates")
+				return
+			}
+		}
+		// Calls to an //ocsml:alloc callee are cold end to end: its body
+		// is skipped by the transitive walk, and the boxing of its
+		// arguments belongs to the same cold path.
+		if node := prog.CallGraph().Node(callee); node != nil && node.Decl != nil &&
+			vetkit.CommentGroupHas(node.Decl.Doc, "alloc") {
+			return
+		}
+	}
+	// Interface boxing of arguments.
+	sig, ok := pkg.Info.Types[fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // f(xs...) passes the slice through unboxed
+		}
+		param := paramType(sig, i)
+		if param == nil || !types.IsInterface(param.Underlying()) {
+			continue
+		}
+		at := pkg.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at.Underlying()) {
+			continue
+		}
+		if pkg.Info.Types[arg].Value != nil {
+			continue // constants box without a per-call allocation
+		}
+		flag(arg.Pos(), "argument boxes a non-pointer value into an interface")
+	}
+}
+
+// stringBytesConversion reports a conversion between string and
+// []byte/[]rune in either direction — the copying, allocating kind.
+func stringBytesConversion(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytesOrRunes := func(t types.Type) bool {
+		sl, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isBytesOrRunes(from)) || (isBytesOrRunes(to) && isStr(from))
+}
+
+// appendCall returns e as an append builtin call, or nil.
+func appendCall(pkg *vetkit.Package, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return call
+}
+
+// freshSlice reports whether the first append argument is a freshly
+// allocated slice: nil, a literal, or a make call.
+func freshSlice(pkg *vetkit.Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" {
+			_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports types stored directly in an interface word
+// without allocation.
+func pointerShaped(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		// Untyped nil converts to a nil interface: no box.
+		return t.Kind() == types.UnsafePointer || t.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// displayName renders Recv.name for methods, name for functions.
+func displayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

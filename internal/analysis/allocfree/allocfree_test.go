@@ -1,0 +1,16 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/allocfree"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", allocfree.Analyzer, "allocbad")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", allocfree.Analyzer, "allocgood")
+}

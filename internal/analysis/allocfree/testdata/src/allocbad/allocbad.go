@@ -1,0 +1,38 @@
+// Package allocbad marks a hot path and then allocates in every way
+// the analyzer knows about, directly and one call deep.
+package allocbad
+
+import "fmt"
+
+type header struct{ seq uint64 }
+
+type enc struct {
+	buf []byte
+	tag string
+	id  int
+}
+
+func sink(v interface{}) { _ = v }
+
+// Encode is the deliberately allocating hot path.
+//
+//ocsml:hotpath
+func (e *enc) Encode(v int) []byte {
+	h := &header{seq: 1}            // want `composite literal escapes to the heap`
+	scratch := make([]byte, 0, 16)  // want `make allocates`
+	grown := append(e.buf, byte(v)) // want `append bound to a new variable allocates`
+	msg := fmt.Sprintf("enc %d", v) // want `fmt.Sprintf allocates`
+	sink(v)                         // want `argument boxes a non-pointer value into an interface`
+	name := e.tag + msg             // want `string concatenation allocates`
+	bs := []byte(msg)               // want `string conversion allocates`
+	fn := func() { e.id++ }         // want `closure allocates`
+	go fn()                         // want `spawning a goroutine allocates`
+	e.deep(v)
+	_, _, _, _, _ = h, scratch, grown, name, bs
+	return e.buf
+}
+
+// deep is reached transitively from the root.
+func (e *enc) deep(v int) {
+	e.buf = append([]byte{}, byte(v)) // want `append to a fresh slice allocates` `slice literal allocates`
+}

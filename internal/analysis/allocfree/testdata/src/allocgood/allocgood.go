@@ -1,0 +1,66 @@
+// Package allocgood is a hot path written in the zero-alloc idiom:
+// in-place appends, pooled reslices, pointer-shaped interface args,
+// and explicitly annotated cold paths.
+package allocgood
+
+type enc struct {
+	buf     []byte
+	scratch []byte
+	n       int
+}
+
+func sink(v interface{})        { _ = v }
+func sinkAll(vs ...interface{}) { _ = vs }
+
+// Append is the steady-state encode path.
+//
+//ocsml:hotpath
+func (e *enc) Append(dst []byte, v uint64) []byte {
+	dst = append(dst, byte(v))        // assign-in-place append
+	e.buf = append(e.buf, byte(v>>8)) // in-place onto a field
+	tmp := append(e.scratch[:0], dst...)
+	e.scratch = tmp // pooled reslice idiom
+	dst = appendVarint(dst, v)
+	sink(&e.n) // pointer-shaped: stored in the interface word
+	sink(64)   // constant: no per-call box
+	sinkAll(nil)
+	coldf(v) // boxing into an //ocsml:alloc callee is part of the cold path
+	func() { e.n++ }()
+	defer func() { e.n-- }()
+	if v == 0 {
+		e.fallback()
+		hdr := make([]byte, 8) //ocsml:alloc one-time header on reconnect
+		_ = hdr
+	}
+	return dst
+}
+
+// appendVarint is a clean transitive callee.
+func appendVarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// fallback rebuilds the scratch buffer after a corrupt frame; it is
+// off the steady-state path by design.
+//
+//ocsml:alloc once per corrupt frame, not steady-state
+func (e *enc) fallback() {
+	e.scratch = make([]byte, 0, 64)
+}
+
+// coldHelper allocates freely: it is not reachable from any hot path.
+func coldHelper() []byte {
+	return make([]byte, 32)
+}
+
+// coldf is an annotated cold diagnostics sink: its body and the boxing
+// of its arguments at call sites are both exempt.
+//
+//ocsml:alloc cold diagnostics helper
+func coldf(args ...interface{}) {
+	_ = args
+}

@@ -86,15 +86,11 @@ func run(pass *vetkit.Pass) error {
 			break
 		}
 	}
+	dirs := pass.Program.Directives()
 	for _, f := range pass.Files {
-		dirs := vetkit.FileDirectives(pass.Fset, f)
 		deterministic := deterministic
-		for _, ds := range dirs {
-			for _, d := range ds {
-				if d.Name == "realtime" {
-					deterministic = false
-				}
-			}
+		if dirs.FileHas(f.Pos(), "realtime") {
+			deterministic = false
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -114,7 +110,7 @@ func run(pass *vetkit.Pass) error {
 					}
 					if deterministic {
 						pass.Reportf(n.Pos(), "time.%s in deterministic package %s: virtual time must come from the simulator", fn.Name(), pass.Pkg.Path())
-					} else if directiveGated[fn.Name()] && !vetkit.HasDirective(dirs, pass.Fset, n.Pos(), "wallclock") {
+					} else if directiveGated[fn.Name()] && !dirs.Has(n.Pos(), "wallclock") {
 						pass.Reportf(n.Pos(), "time.%s without //ocsml:wallclock directive: declare why real time is safe here", fn.Name())
 					}
 				case "math/rand", "math/rand/v2":
@@ -123,7 +119,7 @@ func run(pass *vetkit.Pass) error {
 					}
 					if deterministic {
 						pass.Reportf(n.Pos(), "global rand.%s in deterministic package %s: draw from a seeded *rand.Rand", fn.Name(), pass.Pkg.Path())
-					} else if !vetkit.HasDirective(dirs, pass.Fset, n.Pos(), "wallclock") {
+					} else if !dirs.Has(n.Pos(), "wallclock") {
 						pass.Reportf(n.Pos(), "global rand.%s without //ocsml:wallclock directive: use a seeded *rand.Rand", fn.Name())
 					}
 				}
@@ -138,7 +134,7 @@ func run(pass *vetkit.Pass) error {
 				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 					return true
 				}
-				if vetkit.HasDirective(dirs, pass.Fset, n.Pos(), "unordered") {
+				if dirs.Has(n.Pos(), "unordered") {
 					return true
 				}
 				pass.Reportf(n.Pos(), "map iteration order leaks into deterministic package %s: sort the keys, or annotate //ocsml:unordered <why> if the body is order-insensitive", pass.Pkg.Path())

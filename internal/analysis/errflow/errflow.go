@@ -54,8 +54,8 @@ var sourceCache = map[*vetkit.Program]map[*types.Func]bool{}
 func run(pass *vetkit.Pass) error {
 	src := durabilitySources(pass.Program)
 	cg := pass.Program.CallGraph()
+	dirs := pass.Program.Directives()
 	for _, f := range pass.Files {
-		dirs := vetkit.FileDirectives(pass.Fset, f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -197,7 +197,7 @@ func equalFacts(a, b fact) bool {
 
 type checker struct {
 	pass    *vetkit.Pass
-	dirs    map[int][]vetkit.Directive
+	dirs    *vetkit.Directives
 	src     map[*types.Func]bool
 	sites   map[*ast.CallExpr]*vetkit.CallSite
 	fn      string
@@ -463,7 +463,7 @@ func (c *checker) producing(call *ast.CallExpr) (*types.Func, bool) {
 
 // sink reports an //ocsml:errsink directive covering pos.
 func (c *checker) sink(pos token.Pos) bool {
-	return vetkit.HasDirective(c.dirs, c.pass.Fset, pos, "errsink")
+	return c.dirs.Has(pos, "errsink")
 }
 
 // calleeName renders a function for diagnostics: pkg.Func or Type.Method.

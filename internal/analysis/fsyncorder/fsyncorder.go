@@ -72,8 +72,8 @@ func run(pass *vetkit.Pass) error {
 	if !checked {
 		return nil
 	}
+	dirs := pass.Program.Directives()
 	for _, f := range pass.Files {
-		dirs := vetkit.FileDirectives(pass.Fset, f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -85,7 +85,7 @@ func run(pass *vetkit.Pass) error {
 	return nil
 }
 
-func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncDecl) {
+func checkFunc(pass *vetkit.Pass, dirs *vetkit.Directives, fd *ast.FuncDecl) {
 	var events []event
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -108,7 +108,7 @@ func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncD
 		case sel.Sel.Name == "Truncate" && isFileReceiver(pass, sel):
 			events = append(events, event{call.Pos(), evTruncate})
 		case isOsFunc(pass, sel, "WriteFile"):
-			if !vetkit.HasDirective(dirs, pass.Fset, call.Pos(), "nofsync") {
+			if !dirs.Has(call.Pos(), "nofsync") {
 				pass.Reportf(call.Pos(), "os.WriteFile truncates in place and tears on crash: use the temp-file + fsync + rename protocol (writeAtomic)")
 			}
 		case sel.Sel.Name == "Sync" && isFileReceiver(pass, sel):
@@ -121,7 +121,7 @@ func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncD
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 	for i, ev := range events {
 		if ev.kind == evTruncate {
-			if vetkit.HasDirective(dirs, pass.Fset, ev.pos, "nofsync") {
+			if dirs.Has(ev.pos, "nofsync") {
 				continue
 			}
 			synced := false
@@ -139,7 +139,7 @@ func checkFunc(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, fd *ast.FuncD
 		if ev.kind != evRename {
 			continue
 		}
-		if vetkit.HasDirective(dirs, pass.Fset, ev.pos, "nofsync") {
+		if dirs.Has(ev.pos, "nofsync") {
 			continue
 		}
 		synced := false

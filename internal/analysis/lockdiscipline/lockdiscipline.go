@@ -85,8 +85,8 @@ type event struct {
 
 func run(pass *vetkit.Pass) error {
 	guarded := collectGuarded(pass)
+	dirs := pass.Program.Directives()
 	for _, f := range pass.Files {
-		dirs := vetkit.FileDirectives(pass.Fset, f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -172,7 +172,7 @@ func receiverName(fd *ast.FuncDecl) string {
 // literals are deferred to evFuncLit events and checked recursively with
 // the lock state at their definition point. initHeld and initConstructed
 // seed a closure's state from its enclosing scope.
-func checkScope(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, guarded map[types.Object]string, body *ast.BlockStmt, scope scopeInfo, initHeld map[string]int, initConstructed map[string]bool) {
+func checkScope(pass *vetkit.Pass, dirs *vetkit.Directives, guarded map[types.Object]string, body *ast.BlockStmt, scope scopeInfo, initHeld map[string]int, initConstructed map[string]bool) {
 	var events []event
 	constructed := map[string]bool{} // locals built from composite literals in this scope
 	for k, v := range initConstructed {
@@ -312,7 +312,7 @@ func checkScope(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, guarded map[
 			if held[key] > 0 {
 				continue
 			}
-			if vetkit.HasDirective(dirs, pass.Fset, ev.pos, "nolock") {
+			if dirs.Has(ev.pos, "nolock") {
 				continue
 			}
 			pass.Reportf(ev.pos, "%s.%s is guarded by %s.%s, which is not held in %s: acquire the mutex, move the access into a *Locked helper, or annotate //ocsml:nolock <why>", ev.base, ev.what, ev.base, ev.mutex, scope.name)
@@ -326,7 +326,7 @@ func checkScope(pass *vetkit.Pass, dirs map[int][]vetkit.Directive, guarded map[
 			if anyHeld(held, ev.base) {
 				continue
 			}
-			if vetkit.HasDirective(dirs, pass.Fset, ev.pos, "nolock") {
+			if dirs.Has(ev.pos, "nolock") {
 				continue
 			}
 			pass.Reportf(ev.pos, "%s.%s called without %s's mutex held in %s: *Locked methods require the caller to hold the lock", ev.base, ev.what, ev.base, scope.name)

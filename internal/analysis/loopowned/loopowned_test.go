@@ -1,0 +1,16 @@
+package loopowned_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/loopowned"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", loopowned.Analyzer, "loopbad")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", loopowned.Analyzer, "loopgood")
+}

@@ -1,0 +1,88 @@
+// Package loopbad holds ownership violations: unproven accesses,
+// accesses from the wrong goroutine, mixed-context helpers, tainted
+// helpers, and a malformed directive.
+package loopbad
+
+type badnode struct {
+	inbox chan func()
+	disk  chan func()
+	quit  chan struct{}
+
+	epoch int //ocsml:loopowned loop
+	//ocsml:loopowned nosuchmethod
+	count int // want `no method nosuchmethod on badnode`
+}
+
+//ocsml:looppost loop
+func (n *badnode) post(fn func()) { n.inbox <- fn }
+
+func (n *badnode) loop() {
+	for {
+		select {
+		case fn := <-n.inbox:
+			fn()
+			n.helper()
+			n.shared()
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+func (n *badnode) storageLoop() {
+	for {
+		select {
+		case fn := <-n.disk:
+			fn()
+			n.shared()
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// Stop reads an owned field with no proof of context.
+func (n *badnode) Stop() int {
+	return n.epoch // want `not proven to run on it`
+}
+
+// Leak writes an owned field from a freshly spawned goroutine.
+func (n *badnode) Leak() {
+	go func() {
+		n.epoch++ // want `accessed from an anonymous spawned goroutine`
+	}()
+}
+
+// runLater is not a looppost function: closures handed to it prove
+// nothing about where they run.
+func runLater(fn func()) { fn() }
+
+// Escape hands a closure to an unannotated consumer.
+func (n *badnode) Escape() {
+	runLater(func() {
+		n.epoch++ // want `not proven to run on it`
+	})
+}
+
+// helper joins to loop's context via its loop call site, but Poke also
+// calls it from an unproven context: its accesses are tainted.
+func (n *badnode) helper() {
+	n.epoch++ // want `also reachable from badnode.Poke`
+}
+
+// Poke may run on any goroutine.
+func (n *badnode) Poke() {
+	n.helper()
+}
+
+// shared is called from both loops: mixed context.
+func (n *badnode) shared() {
+	n.epoch++ // want `reachable from multiple goroutines`
+}
+
+func startBad() *badnode {
+	n := &badnode{inbox: make(chan func(), 8), disk: make(chan func(), 8), quit: make(chan struct{})}
+	go n.loop()
+	go n.storageLoop()
+	return n
+}

@@ -1,0 +1,136 @@
+// Package loopgood exercises every way an access can be proven to run
+// on the owning goroutine: the owner itself, posted closures, deferred
+// work replayed by the loop, caller-context propagation, asserted
+// contexts, cross-type owners, and explicit exemptions.
+package loopgood
+
+type node struct {
+	inbox chan func()
+	quit  chan struct{}
+	disk  chan func()
+
+	epoch int //ocsml:loopowned loop
+	//ocsml:loopowned loop
+	//ocsml:looppost loop
+	deferred  []func()
+	persisted int //ocsml:loopowned storageLoop
+}
+
+// post hands a closure to the event loop.
+//
+//ocsml:looppost loop
+func (n *node) post(fn func()) { n.inbox <- fn }
+
+// postStorage hands a closure to the storage loop.
+//
+//ocsml:looppost storageLoop
+func (n *node) postStorage(fn func()) { n.disk <- fn }
+
+func (n *node) loop() {
+	for {
+		select {
+		case fn := <-n.inbox:
+			fn()
+			n.epoch++ // owner accesses directly
+			n.flush()
+			for _, d := range n.deferred {
+				d()
+			}
+			n.deferred = n.deferred[:0]
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+func (n *node) storageLoop() {
+	for {
+		select {
+		case fn := <-n.disk:
+			fn()
+			n.persisted++
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// flush is called only from loop, so it inherits loop's context.
+func (n *node) flush() {
+	n.epoch++
+}
+
+// Snapshot may be called from anywhere: it reads epoch via a posted
+// closure, which runs on loop regardless of the caller.
+func (n *node) Snapshot() chan int {
+	out := make(chan int, 1)
+	n.post(func() {
+		out <- n.epoch
+	})
+	return out
+}
+
+// DeferWork stores a closure into the deferred queue (a looppost
+// field): the stored closure runs on loop, and the append itself is
+// performed inside a posted closure.
+func (n *node) DeferWork() {
+	n.post(func() {
+		n.deferred = append(n.deferred, func() {
+			n.epoch++
+		})
+	})
+}
+
+// Persist crosses loops: a closure posted to the storage loop touches
+// the storage-owned counter.
+func (n *node) Persist() {
+	n.postStorage(func() {
+		n.persisted++
+	})
+}
+
+// onTimer is invoked through an interface by the runtime's timer
+// wheel, which the callgraph cannot see; the context is asserted.
+//
+//ocsml:loopcontext loop
+func (n *node) onTimer() {
+	n.epoch++
+}
+
+// newNode initializes owned fields before any goroutine exists.
+func newNode() *node {
+	n := &node{inbox: make(chan func(), 8), quit: make(chan struct{}), disk: make(chan func(), 8)}
+	n.epoch = 1 //ocsml:loopexempt constructor runs before the loops start
+	return n
+}
+
+func start() *node {
+	n := newNode()
+	go n.loop()
+	go n.storageLoop()
+	return n
+}
+
+// sim is owned by another type's method: the DES driver serializes all
+// cell state inside sim.Run, no goroutines involved.
+//
+//ocsml:loopcontext sim.Run
+type cell struct {
+	work int //ocsml:loopowned sim.Run
+}
+
+type sim struct {
+	cells []*cell
+}
+
+func (s *sim) Run() {
+	for _, c := range s.cells {
+		c.step()
+		c.work++
+	}
+}
+
+// step is a cell method: the type-level loopcontext seeds it.
+func (c *cell) step() {
+	c.work++
+}

@@ -1,0 +1,318 @@
+// Package quitpath proves that every spawned goroutine has a
+// termination path. The leakcheck TestMains catch leaked goroutines
+// dynamically, after the fact and only on the paths a test happens to
+// drive; quitpath proves the property statically for every `go`
+// statement in the program:
+//
+//   - a goroutine whose body (and every function it statically calls)
+//     contains no infinite `for` loop terminates when its work does —
+//     an accept loop returning on listener close, a one-shot helper;
+//   - an infinite `for` loop must contain a reachable exit: a return
+//     (the canonical select-on-quit arm), a break out of the loop, a
+//     goto, or a call that never returns (panic, os.Exit, log.Fatal,
+//     runtime.Goexit);
+//   - `for cond` and `for range` loops are assumed bounded: their
+//     condition or sequence is the termination argument, which is the
+//     convention this repository's loops follow;
+//   - a deliberate daemon opts out with //ocsml:daemon <why> on the go
+//     statement or in the spawned function's doc comment.
+//
+// The check follows static calls transitively (a leak hiding behind a
+// wrapper is still a leak), skips functions without source (the stdlib
+// is trusted), and treats dynamic dispatch as terminating — interface
+// callees are the implementor's responsibility at their own spawn
+// sites. A spawn whose target cannot be resolved at all must carry the
+// daemon annotation: an unprovable goroutine is a finding, not a pass.
+package quitpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ocsml/internal/analysis/vetkit"
+)
+
+// Analyzer is the quitpath analysis.
+var Analyzer = &vetkit.Analyzer{
+	Name: "quitpath",
+	Doc:  "every spawned goroutine has a proven termination path or an //ocsml:daemon opt-out",
+	Run:  run,
+}
+
+// progFacts caches per-function termination verdicts for one program.
+type progFacts struct {
+	at   *vetkit.Attribution
+	cg   *vetkit.CallGraph
+	dirs *vetkit.Directives
+	fset *token.FileSet
+
+	// verdicts maps a function to the position of the first unexitable
+	// infinite loop reachable from it (token.NoPos = terminates).
+	verdicts map[*types.Func]token.Pos
+}
+
+var cache = map[*vetkit.Program]*progFacts{}
+
+func run(pass *vetkit.Pass) error {
+	pf, ok := cache[pass.Program]
+	if !ok {
+		pf = &progFacts{
+			at:       pass.Program.Attribution(),
+			cg:       pass.Program.CallGraph(),
+			dirs:     pass.Program.Directives(),
+			fset:     pass.Fset,
+			verdicts: map[*types.Func]token.Pos{},
+		}
+		cache[pass.Program] = pf
+	}
+	for _, s := range pf.at.Spawns {
+		if s.Body.Pkg.Types != pass.Pkg {
+			continue
+		}
+		pf.checkSpawn(pass, s)
+	}
+	return nil
+}
+
+// checkSpawn verifies one go statement.
+func (pf *progFacts) checkSpawn(pass *vetkit.Pass, s *vetkit.SpawnSite) {
+	if pf.dirs.Has(s.Go.Pos(), "daemon") {
+		return
+	}
+	switch {
+	case s.Lit != nil:
+		seen := map[*types.Func]bool{}
+		if bad := pf.checkBodyTree(s.Body.Pkg, pf.at.ByNode[s.Lit], seen); bad != token.NoPos {
+			pass.Reportf(s.Go.Pos(), "spawned goroutine has no proven termination path: infinite loop at %s lacks a return or break (select on a quit channel, or annotate //ocsml:daemon <why>)",
+				pf.pos(bad))
+		}
+	case s.Callee != nil:
+		node := pf.cg.Node(s.Callee)
+		if node == nil || node.Decl == nil {
+			return // no source (stdlib): trusted
+		}
+		if vetkit.CommentGroupHas(node.Decl.Doc, "daemon") {
+			return
+		}
+		if bad := pf.terminates(s.Callee); bad != token.NoPos {
+			pass.Reportf(s.Go.Pos(), "goroutine %s has no proven termination path: infinite loop at %s lacks a return or break (select on a quit channel, or annotate //ocsml:daemon <why>)",
+				s.Callee.Name(), pf.pos(bad))
+		}
+	default:
+		pass.Reportf(s.Go.Pos(), "cannot resolve the spawned function, so its termination is unprovable; annotate //ocsml:daemon <why> if it is a deliberate daemon")
+	}
+}
+
+func (pf *progFacts) pos(p token.Pos) string {
+	pos := pf.fset.Position(p)
+	return pos.String()
+}
+
+// terminates returns the position of the first unexitable infinite loop
+// reachable from fn, or NoPos. Verdicts are cached; recursion assumes
+// the callee terminates (the cycle's loops are checked at their own
+// frames).
+func (pf *progFacts) terminates(fn *types.Func) token.Pos {
+	if bad, ok := pf.verdicts[fn]; ok {
+		return bad
+	}
+	pf.verdicts[fn] = token.NoPos // in-progress: break cycles
+	node := pf.cg.Node(fn)
+	if node == nil || node.Decl == nil {
+		return token.NoPos
+	}
+	bad := pf.checkBodyTree(node.Pkg, pf.at.ByNode[node.Decl], map[*types.Func]bool{fn: true})
+	pf.verdicts[fn] = bad
+	return bad
+}
+
+// checkBodyTree checks one body plus the literals that run in its
+// context (immediately invoked and deferred), and follows its static
+// calls.
+func (pf *progFacts) checkBodyTree(pkg *vetkit.Package, b *vetkit.Body, seen map[*types.Func]bool) token.Pos {
+	if b == nil {
+		return token.NoPos
+	}
+	var root *ast.BlockStmt
+	if b.Lit != nil {
+		root = b.Lit.Body
+	} else {
+		root = b.Decl.Body
+	}
+	if bad := checkLoops(root); bad != token.NoPos {
+		return bad
+	}
+	for _, c := range b.Calls {
+		if c.Callee == nil || c.Dynamic || seen[c.Callee] {
+			continue
+		}
+		node := pf.cg.Node(c.Callee)
+		if node == nil || node.Decl == nil {
+			continue
+		}
+		seen[c.Callee] = true
+		if bad := pf.terminates(c.Callee); bad != token.NoPos {
+			return bad
+		}
+	}
+	// Literals that run in this body's context are part of its
+	// termination argument; posted/escaping literals run on some other
+	// goroutine and are judged at their own consumption site.
+	for _, nested := range pf.at.Bodies {
+		if nested.Parent != b {
+			continue
+		}
+		if nested.Use == vetkit.UseCall || nested.Use == vetkit.UseDefer {
+			if bad := pf.checkBodyTree(pkg, nested, seen); bad != token.NoPos {
+				return bad
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// checkLoops finds infinite for loops lexically in root (not inside
+// nested function literals) and returns the position of the first one
+// with no exit.
+func checkLoops(root *ast.BlockStmt) token.Pos {
+	if root == nil {
+		return token.NoPos
+	}
+	bad := token.NoPos
+	ast.Inspect(root, func(n ast.Node) bool {
+		if bad != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !hasExit(n.Body, innerLabels(n.Body), true) {
+				bad = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// innerLabels collects the labels declared lexically inside body (not
+// in nested function literals). A break targeting any label NOT in
+// this set escapes the loop: the loop's own label and every enclosing
+// label are declared outside its body.
+func innerLabels(body *ast.BlockStmt) map[string]bool {
+	inner := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.LabeledStmt:
+			inner[n.Label.Name] = true
+		}
+		return true
+	})
+	return inner
+}
+
+// hasExit reports whether the loop body contains a statement that
+// escapes the loop: a return, a break targeting it or an enclosing
+// label, a goto, or a call that never returns. direct tracks whether
+// an unlabeled break here still targets the loop (false under a
+// nested for/switch/select); inner is the set of labels declared
+// inside the loop body (a labeled break to any other label escapes).
+func hasExit(n ast.Node, inner map[string]bool, direct bool) bool {
+	found := false
+	walk := func(children ...ast.Node) {
+		for _, c := range children {
+			if c != nil && hasExit(c, inner, direct) {
+				found = true
+			}
+		}
+	}
+	switch n := n.(type) {
+	case nil:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch n.Tok {
+		case token.BREAK:
+			if n.Label == nil {
+				return direct
+			}
+			return !inner[n.Label.Name]
+		case token.GOTO:
+			// A goto's target may be outside the loop; assume it is.
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		return neverReturns(n.X)
+	case *ast.FuncLit:
+		return false
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		direct = false
+	case *ast.BlockStmt:
+		walk(stmtsToNodes(n.List)...)
+		return found
+	case *ast.LabeledStmt:
+		walk(n.Stmt)
+		return found
+	}
+	// Structured statements: walk their children with the (possibly
+	// cleared) direct flag.
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		walk(n.Body)
+	case *ast.RangeStmt:
+		walk(n.Body)
+	case *ast.IfStmt:
+		walk(n.Body, n.Else)
+	case *ast.SwitchStmt:
+		walk(n.Body)
+	case *ast.TypeSwitchStmt:
+		walk(n.Body)
+	case *ast.SelectStmt:
+		walk(n.Body)
+	case *ast.CaseClause:
+		walk(stmtsToNodes(n.Body)...)
+	case *ast.CommClause:
+		walk(stmtsToNodes(n.Body)...)
+	}
+	return found
+}
+
+func stmtsToNodes(stmts []ast.Stmt) []ast.Node {
+	out := make([]ast.Node, len(stmts))
+	for i, s := range stmts {
+		out[i] = s
+	}
+	return out
+}
+
+// neverReturns recognizes calls that terminate the goroutine or the
+// process.
+func neverReturns(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+				return true
+			}
+		}
+	}
+	return false
+}

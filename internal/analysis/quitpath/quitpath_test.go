@@ -1,0 +1,16 @@
+package quitpath_test
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/quitpath"
+	"ocsml/internal/analysis/vetkit/vettest"
+)
+
+func TestViolations(t *testing.T) {
+	vettest.Run(t, "testdata", quitpath.Analyzer, "quitbad")
+}
+
+func TestConforming(t *testing.T) {
+	vettest.RunClean(t, "testdata", quitpath.Analyzer, "quitgood")
+}

@@ -1,0 +1,48 @@
+// Package quitbad spawns goroutines with no provable termination:
+// selects with no quit arm, bare receive loops, leaks hidden behind a
+// wrapper, and spawns that cannot be resolved at all.
+package quitbad
+
+type srv struct {
+	work chan int
+	tick chan struct{}
+}
+
+// pump has an infinite select with no quit arm and no return.
+func (s *srv) pump() {
+	for {
+		select {
+		case v := <-s.work:
+			_ = v
+		case <-s.tick:
+		}
+	}
+}
+
+// spin never exits.
+func (s *srv) spin() {
+	for {
+		<-s.work
+	}
+}
+
+// viaWrapper hides the leak one call deep.
+func (s *srv) viaWrapper() {
+	s.spin()
+}
+
+func (s *srv) start(alt bool) {
+	go s.pump() // want `no proven termination path`
+	go func() { // want `no proven termination path`
+		for {
+			<-s.work
+		}
+	}()
+	go s.viaWrapper() // want `no proven termination path`
+
+	f := s.pump
+	if alt {
+		f = s.spin
+	}
+	go f() // want `cannot resolve the spawned function`
+}

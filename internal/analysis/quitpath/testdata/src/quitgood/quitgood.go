@@ -1,0 +1,93 @@
+// Package quitgood spawns goroutines whose termination is provable:
+// quit-channel selects, error-return accept loops, bounded drains,
+// labeled breaks out of nested loops, and annotated daemons.
+package quitgood
+
+type listener interface {
+	Accept() (int, error)
+}
+
+type srv struct {
+	work chan int
+	quit chan struct{}
+	l    listener
+}
+
+// pump exits through the quit arm.
+func (s *srv) pump() {
+	for {
+		select {
+		case v := <-s.work:
+			_ = v
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// accept returns when the listener is closed — the repository's
+// shutdown idiom for network loops.
+func (s *srv) accept() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		_ = conn
+	}
+}
+
+// drain is bounded by channel close.
+func (s *srv) drain() {
+	for v := range s.work {
+		_ = v
+	}
+}
+
+// nested escapes both loops with a labeled break from the inner one.
+func (s *srv) nested() {
+outer:
+	for {
+		for {
+			select {
+			case <-s.quit:
+				break outer
+			case v := <-s.work:
+				if v < 0 {
+					break
+				}
+				_ = v
+			}
+		}
+	}
+}
+
+// scrape runs for the life of the process by design.
+//
+//ocsml:daemon process-lifetime metrics scraper
+func (s *srv) scrape() {
+	for {
+		<-s.work
+	}
+}
+
+func drainG[T any](ch chan T) {
+	for range ch {
+	}
+}
+
+func (s *srv) start() {
+	go s.pump()
+	go s.accept()
+	go s.drain()
+	go s.nested()
+	go s.scrape()
+	go s.pump() //ocsml:daemon same loop, annotated at the spawn site
+	go func() {
+		s.work <- 1 // no loop at all: terminates with its work
+	}()
+
+	f := s.pump
+	go f()
+	go drainG(s.work)
+}

@@ -160,18 +160,16 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 	}
 	byField := map[string][]edge{}
 	var order []string
-	for _, c := range doc.List {
-		text := strings.TrimPrefix(c.Text, "//")
-		body, ok := strings.CutPrefix(text, "ocsml:state ")
-		if !ok {
+	for _, dir := range vetkit.DocDirectives(doc) {
+		if dir.Name != "state" {
 			continue
 		}
-		fields := strings.Fields(body)
+		fields := strings.Fields(dir.Arg)
 		bad := func(msg string) {
-			pf.errs = append(pf.errs, tableErr{pkg.Types, c.Pos(), msg})
+			pf.errs = append(pf.errs, tableErr{pkg.Types, dir.Pos, msg})
 		}
 		if len(fields) != 2 {
-			bad(fmt.Sprintf("malformed //ocsml:state directive %q: want //ocsml:state <field> <from>-><to>", strings.TrimSpace(body)))
+			bad(fmt.Sprintf("malformed //ocsml:state directive %q: want //ocsml:state <field> <from>-><to>", dir.Arg))
 			continue
 		}
 		from, to, ok := strings.Cut(fields[1], "->")
@@ -182,7 +180,7 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 		if _, seen := byField[fields[0]]; !seen {
 			order = append(order, fields[0])
 		}
-		byField[fields[0]] = append(byField[fields[0]], edge{from, to, c.Pos()})
+		byField[fields[0]] = append(byField[fields[0]], edge{from, to, dir.Pos})
 	}
 	if len(byField) == 0 {
 		return

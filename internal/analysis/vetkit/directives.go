@@ -1,0 +1,123 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives is the shared //ocsml: comment index for one analysis run.
+// Every analyzer used to re-scan f.Comments itself (errflow,
+// statemachine and lockdiscipline each carried a private copy of the
+// line-keyed map); Directives parses each file once and answers the two
+// questions they all ask — "is position P covered by directive N?" and
+// "what is N's argument?" — plus doc-comment lookups for declarations.
+//
+// Coverage follows the repository convention: a directive covers a
+// position when it sits on the same line or on the line directly above
+// (a comment on its own line annotating the statement below). For
+// declarations the directive lives in the doc comment instead; use the
+// Doc helpers.
+type Directives struct {
+	fset   *token.FileSet
+	byFile map[string]map[int][]Directive
+}
+
+// NewDirectives indexes the given files. All files must belong to fset.
+func NewDirectives(fset *token.FileSet, files ...*ast.File) *Directives {
+	d := &Directives{fset: fset, byFile: map[string]map[int][]Directive{}}
+	d.Add(files...)
+	return d
+}
+
+// Add indexes more files (idempotent per file).
+func (d *Directives) Add(files ...*ast.File) {
+	for _, f := range files {
+		name := d.fset.Position(f.Pos()).Filename
+		if _, ok := d.byFile[name]; ok {
+			continue
+		}
+		d.byFile[name] = FileDirectives(d.fset, f)
+	}
+}
+
+// Covering returns the directive of the given name covering pos: same
+// line first, then the line directly above.
+func (d *Directives) Covering(pos token.Pos, name string) (Directive, bool) {
+	p := d.fset.Position(pos)
+	lines := d.byFile[p.Filename]
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.Name == name {
+				return dir, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Has reports whether a directive of the given name covers pos.
+func (d *Directives) Has(pos token.Pos, name string) bool {
+	_, ok := d.Covering(pos, name)
+	return ok
+}
+
+// FileHas reports whether the file containing pos declares a directive
+// of the given name anywhere — file-scoped switches like detclean's
+// //ocsml:realtime.
+func (d *Directives) FileHas(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	for _, dirs := range d.byFile[p.Filename] {
+		for _, dir := range dirs {
+			if dir.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Arg returns the argument of the named directive covering pos.
+func (d *Directives) Arg(pos token.Pos, name string) (string, bool) {
+	dir, ok := d.Covering(pos, name)
+	return dir.Arg, ok
+}
+
+// DocDirectives parses every //ocsml: directive in a doc comment group,
+// in source order. Declarations (types, funcs, struct fields) annotate
+// themselves through their doc comment; statemachine's transition
+// tables and loopowned's ownership markers both read this form.
+func DocDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if dir, ok := parseDirective(c); ok {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// DocDirective returns the first directive of the given name in a doc
+// comment group.
+func DocDirective(cg *ast.CommentGroup, name string) (Directive, bool) {
+	for _, dir := range DocDirectives(cg) {
+		if dir.Name == name {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}
+
+// parseDirective parses one //ocsml:<name> [arg] comment.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	body := strings.TrimPrefix(text, directivePrefix)
+	name, arg, _ := strings.Cut(body, " ")
+	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Pos()}, true
+}

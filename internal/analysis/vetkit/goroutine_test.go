@@ -1,0 +1,240 @@
+package vetkit_test
+
+import (
+	"go/token"
+	"testing"
+
+	"ocsml/internal/analysis/vetkit"
+)
+
+// attributionOf loads one fixture package and returns its attribution.
+func attributionOf(t *testing.T, src string) (*vetkit.Program, *vetkit.Attribution) {
+	t.Helper()
+	dir := writeTree(t, map[string]string{"p/p.go": src})
+	l := vetkit.NewLoader(map[string]string{"m": dir})
+	if _, err := l.LoadPackage("m/p"); err != nil {
+		t.Fatalf("LoadPackage: %v", err)
+	}
+	prog := vetkit.NewProgram(l.Packages)
+	return prog, prog.Attribution()
+}
+
+// spawnCallees names the resolved target of every spawn, in order.
+func spawnCallees(at *vetkit.Attribution) []string {
+	var out []string
+	for _, s := range at.Spawns {
+		switch {
+		case s.Callee != nil:
+			out = append(out, s.Callee.Name())
+		case s.Lit != nil:
+			out = append(out, "<lit>")
+		default:
+			out = append(out, "<unresolved>")
+		}
+	}
+	return out
+}
+
+// A `go` statement through a single-assignment method value must
+// resolve to the method, and a reassigned binding must not.
+func TestSpawnThroughMethodValue(t *testing.T) {
+	_, at := attributionOf(t, `package p
+
+type node struct{ ch chan int }
+
+func (n *node) loop()  { <-n.ch }
+func (n *node) drain() { <-n.ch }
+
+func (n *node) start(alt bool) {
+	f := n.loop
+	go f()
+	g := n.loop
+	if alt {
+		g = n.drain
+	}
+	go g()
+}
+`)
+	got := spawnCallees(at)
+	if len(got) != 2 || got[0] != "loop" || got[1] != "<unresolved>" {
+		t.Fatalf("spawn targets = %v, want [loop <unresolved>]", got)
+	}
+}
+
+// A `go` statement on a generic function — explicitly instantiated or
+// inferred — must resolve to the generic origin.
+func TestSpawnGenericInstantiation(t *testing.T) {
+	_, at := attributionOf(t, `package p
+
+func worker[T any](ch chan T) { <-ch }
+
+func start(a chan int, b chan string) {
+	go worker[int](a)
+	go worker(b)
+}
+`)
+	got := spawnCallees(at)
+	if len(got) != 2 || got[0] != "worker" || got[1] != "worker" {
+		t.Fatalf("spawn targets = %v, want [worker worker]", got)
+	}
+}
+
+// A closure spawned inside a loop (capturing the loop variable) is an
+// anonymous spawn: the literal is recorded, attributed to the right
+// enclosing body, and classified as a go operand.
+func TestSpawnClosureCapturingLoopVariable(t *testing.T) {
+	_, at := attributionOf(t, `package p
+
+func fanout(peers []chan int) {
+	for _, p := range peers {
+		go func() { p <- 1 }()
+	}
+}
+`)
+	if len(at.Spawns) != 1 {
+		t.Fatalf("got %d spawns, want 1", len(at.Spawns))
+	}
+	s := at.Spawns[0]
+	if s.Lit == nil || s.Callee != nil {
+		t.Fatalf("loop-closure spawn: Lit=%v Callee=%v, want literal spawn", s.Lit, s.Callee)
+	}
+	b := at.ByNode[s.Lit]
+	if b == nil || b.Use != vetkit.UseGo {
+		t.Fatalf("spawned literal body = %+v, want UseGo", b)
+	}
+	if b.Fn.Obj.Name() != "fanout" || b.Parent == nil || b.Parent.Lit != nil {
+		t.Fatalf("spawned literal not attributed to fanout's declaration body")
+	}
+}
+
+// Literal consumption classification: posted argument, field store,
+// append-into-field, defer, immediate invocation, escape.
+func TestLitUseClassification(t *testing.T) {
+	_, at := attributionOf(t, `package p
+
+type node struct {
+	inbox    chan func()
+	deferred []func()
+	hook     func()
+}
+
+func (n *node) post(fn func()) { n.inbox <- fn }
+
+func (n *node) ops() {
+	n.post(func() {})                          // arg
+	n.deferred = append(n.deferred, func() {}) // append into field
+	n.hook = func() {}                         // field store
+	defer func() {}()                          // defer
+	func() {}()                                // immediate call
+	var esc func()
+	esc = func() {} // escape
+	_ = esc
+}
+`)
+	var got []vetkit.LitUse
+	var argCallee, fields []string
+	for _, b := range at.Bodies {
+		if b.Lit == nil || b.Fn.Obj.Name() != "ops" {
+			continue
+		}
+		got = append(got, b.Use)
+		if b.Use == vetkit.UseArg && b.Callee != nil {
+			argCallee = append(argCallee, b.Callee.Name())
+		}
+		if b.Use == vetkit.UseField && b.Field != nil {
+			fields = append(fields, b.Field.Name())
+		}
+	}
+	want := []vetkit.LitUse{vetkit.UseArg, vetkit.UseField, vetkit.UseField, vetkit.UseDefer, vetkit.UseCall, vetkit.UseEscape}
+	if len(got) != len(want) {
+		t.Fatalf("classified %d literals, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("literal %d classified %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(argCallee) != 1 || argCallee[0] != "post" {
+		t.Fatalf("UseArg callee = %v, want [post]", argCallee)
+	}
+	if len(fields) != 2 || fields[0] != "deferred" || fields[1] != "hook" {
+		t.Fatalf("UseField fields = %v, want [deferred hook]", fields)
+	}
+}
+
+// Calls made inside a nested literal belong to the literal's body, not
+// the declaration's, and the go operand's call belongs to neither.
+func TestBodyCallOwnership(t *testing.T) {
+	_, at := attributionOf(t, `package p
+
+func helper() {}
+func spawned() {}
+
+func outer() {
+	helper()
+	go spawned()
+	f := func() { helper() }
+	f()
+}
+`)
+	calls := func(b *vetkit.Body) []string {
+		var out []string
+		for _, c := range b.Calls {
+			if c.Callee != nil {
+				out = append(out, c.Callee.Name())
+			}
+		}
+		return out
+	}
+	var declCalls, litCalls []string
+	for _, b := range at.Bodies {
+		if b.Fn.Obj.Name() != "outer" {
+			continue
+		}
+		if b.Lit == nil {
+			declCalls = calls(b)
+		} else {
+			litCalls = calls(b)
+		}
+	}
+	// The declaration body calls helper and invokes f; spawned's call
+	// belongs to the spawned goroutine, not the body.
+	for _, c := range declCalls {
+		if c == "spawned" {
+			t.Fatalf("go operand call attributed to the declaration body: %v", declCalls)
+		}
+	}
+	if len(litCalls) != 1 || litCalls[0] != "helper" {
+		t.Fatalf("literal body calls = %v, want [helper]", litCalls)
+	}
+	if len(at.Spawns) != 1 || at.Spawns[0].Callee == nil || at.Spawns[0].Callee.Name() != "spawned" {
+		t.Fatalf("spawns = %v, want [spawned]", spawnCallees(at))
+	}
+}
+
+// DeclBody finds the declaration body for a function object.
+func TestDeclBody(t *testing.T) {
+	prog, at := attributionOf(t, `package p
+
+func f() {}
+`)
+	var fn *vetkit.FuncNode
+	for _, n := range prog.CallGraph().Funcs() {
+		if n.Obj.Name() == "f" {
+			fn = n
+		}
+	}
+	if fn == nil {
+		t.Fatal("f not in callgraph")
+	}
+	b := at.DeclBody(fn.Obj)
+	if b == nil || b.Lit != nil || b.Decl == nil || b.Decl.Name.Name != "f" {
+		t.Fatalf("DeclBody(f) = %+v", b)
+	}
+	if b.Parent != nil || b.Use != vetkit.UseDecl {
+		t.Fatalf("declaration body has Parent=%v Use=%v", b.Parent, b.Use)
+	}
+	if bodyStart := b.Decl.Pos(); bodyStart == token.NoPos {
+		t.Fatal("declaration body lost its position")
+	}
+}

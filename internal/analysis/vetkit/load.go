@@ -14,12 +14,6 @@ import (
 	"strings"
 )
 
-// buildCtx filters files exactly as a plain `go build` would: GOOS /
-// GOARCH conventions and //go:build constraints with no extra tags, so
-// files gated behind optional tags (e.g. the `soak` harness) are
-// excluded from analysis just as they are from the default build.
-var buildCtx = build.Default
-
 // A Loader parses and type-checks packages from source. It resolves
 // imports under Roots (import-path prefix -> directory) by recursive
 // source loading, and everything else through the standard library's
@@ -35,8 +29,22 @@ type Loader struct {
 	Fset     *token.FileSet
 	Packages map[string]*Package // by import path, every source-loaded package
 
+	// buildCtx filters files exactly as a plain `go build` would: GOOS /
+	// GOARCH conventions and //go:build constraints. With no extra tags,
+	// files gated behind optional tags (e.g. the `soak` harness) are
+	// excluded from analysis just as they are from the default build;
+	// SetBuildTags brings them in.
+	buildCtx build.Context
+
 	std  types.ImporterFrom
 	info *types.Info
+}
+
+// SetBuildTags adds build tags to the loader's file-matching context,
+// the equivalent of `go vet -tags`. Must be called before any package
+// is loaded.
+func (l *Loader) SetBuildTags(tags []string) {
+	l.buildCtx.BuildTags = append(l.buildCtx.BuildTags[:len(l.buildCtx.BuildTags):len(l.buildCtx.BuildTags)], tags...)
 }
 
 // NewLoader builds a loader over the given import-path roots.
@@ -46,6 +54,7 @@ func NewLoader(roots map[string]string) *Loader {
 		Roots:    roots,
 		Fset:     fset,
 		Packages: map[string]*Package{},
+		buildCtx: build.Default,
 		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		info: &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
@@ -122,7 +131,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	}
 	// A resolvable path with no source there (possible under the
 	// catch-all fixture root) falls through to the stdlib importer.
-	if dir, ok := l.resolve(path); ok && hasGoFiles(dir) {
+	if dir, ok := l.resolve(path); ok && l.hasGoFiles(dir) {
 		pkg, err := l.load(path, dir)
 		if err != nil {
 			return nil, err
@@ -156,7 +165,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		if ok, err := buildCtx.MatchFile(dir, name); err != nil || !ok {
+		if ok, err := l.buildCtx.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name),
@@ -202,6 +211,12 @@ func (l *Loader) Expand(prefix string, patterns []string) ([]string, error) {
 		}
 	}
 	for _, pat := range patterns {
+		// Normalize "./internal/wire/" to "./internal/wire": a trailing
+		// slash would otherwise mint a second import path for the same
+		// directory, loading (and checking) the package twice.
+		for len(pat) > 1 && strings.HasSuffix(pat, "/") {
+			pat = strings.TrimSuffix(pat, "/")
+		}
 		switch {
 		case pat == "./..." || pat == prefix+"/..." || pat == "...":
 			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
@@ -215,7 +230,7 @@ func (l *Loader) Expand(prefix string, patterns []string) ([]string, error) {
 				if p != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
 					return filepath.SkipDir
 				}
-				if !hasGoFiles(p) {
+				if !l.hasGoFiles(p) {
 					return nil
 				}
 				rel, err := filepath.Rel(root, p)
@@ -242,7 +257,7 @@ func (l *Loader) Expand(prefix string, patterns []string) ([]string, error) {
 	return paths, nil
 }
 
-func hasGoFiles(dir string) bool {
+func (l *Loader) hasGoFiles(dir string) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return false
@@ -252,7 +267,7 @@ func hasGoFiles(dir string) bool {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		if ok, err := buildCtx.MatchFile(dir, name); err == nil && ok {
+		if ok, err := l.buildCtx.MatchFile(dir, name); err == nil && ok {
 			return true
 		}
 	}

@@ -2,6 +2,7 @@ package vetkit
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"sync"
@@ -20,6 +21,12 @@ type Program struct {
 
 	cgOnce sync.Once
 	cg     *CallGraph
+
+	dirOnce sync.Once
+	dirs    *Directives
+
+	attrOnce sync.Once
+	attr     *Attribution
 }
 
 // NewProgram wraps a loader's package map.
@@ -50,6 +57,33 @@ func (p *Program) PackageBySuffix(suffix string) *Package {
 func (p *Program) CallGraph() *CallGraph {
 	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
 	return p.cg
+}
+
+// Directives returns the shared //ocsml: directive index over every
+// source-loaded file, built on first use. All packages of one program
+// share a single FileSet, so one index answers position queries for
+// every analyzer.
+func (p *Program) Directives() *Directives {
+	p.dirOnce.Do(func() {
+		var fset *token.FileSet
+		var files []*ast.File
+		for _, pkg := range p.Packages {
+			fset = pkg.Fset
+			files = append(files, pkg.Files...)
+		}
+		if fset == nil {
+			fset = token.NewFileSet()
+		}
+		p.dirs = NewDirectives(fset, files...)
+	})
+	return p.dirs
+}
+
+// Attribution returns the goroutine-attribution view (every executable
+// body plus every spawn site), built on first use.
+func (p *Program) Attribution() *Attribution {
+	p.attrOnce.Do(func() { p.attr = attribute(p) })
+	return p.attr
 }
 
 // A CallGraph records, for every function with source in the program,

@@ -17,9 +17,12 @@
 //	//ocsml:<name> [argument or reason]
 //
 // placed on the flagged line, on the line directly above it, or in the
-// doc comment of the declaration. See the individual analyzers for the
-// directives they honor (wallclock, unordered, guardedby, locked,
-// nolock, nofsync, wirepayload, errsink, nopiggyback, state).
+// doc comment of the declaration. The Directives index (directives.go)
+// collects every such comment once per program so analyzers share one
+// parse. See the individual analyzers for the directives they honor
+// (wallclock, unordered, guardedby, locked, nolock, nofsync,
+// wirepayload, errsink, nopiggyback, state, loopowned, looppost,
+// loopcontext, loopexempt, daemon, hotpath, alloc).
 package vetkit
 
 import (
@@ -143,83 +146,36 @@ const directivePrefix = "ocsml:"
 
 // A Directive is one parsed //ocsml:<name> comment.
 type Directive struct {
-	Name string // e.g. "wallclock"
-	Arg  string // remainder of the line, trimmed (reason or argument)
-	Line int    // line the comment sits on
+	Name string    // e.g. "wallclock"
+	Arg  string    // remainder of the line, trimmed (reason or argument)
+	Line int       // line the comment sits on (filled by FileDirectives)
+	Pos  token.Pos // position of the comment
 }
 
 // FileDirectives extracts every //ocsml: directive in the file, keyed by
-// the line the comment occupies.
+// the line the comment occupies. Most analyzers should use the shared
+// Directives index (Program.Directives) instead of re-scanning files.
 func FileDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
 	out := map[int][]Directive{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			if !strings.HasPrefix(text, directivePrefix) {
+			d, ok := parseDirective(c)
+			if !ok {
 				continue
 			}
-			body := strings.TrimPrefix(text, directivePrefix)
-			name, arg, _ := strings.Cut(body, " ")
-			line := fset.Position(c.Pos()).Line
-			out[line] = append(out[line], Directive{
-				Name: name,
-				Arg:  strings.TrimSpace(arg),
-				Line: line,
-			})
+			d.Line = fset.Position(c.Pos()).Line
+			out[d.Line] = append(out[d.Line], d)
 		}
 	}
 	return out
-}
-
-// HasDirective reports whether a directive of the given name covers pos:
-// it sits on the same line, or on the line directly above (a comment on
-// its own line annotating the statement below).
-func HasDirective(dirs map[int][]Directive, fset *token.FileSet, pos token.Pos, name string) bool {
-	line := fset.Position(pos).Line
-	for _, d := range dirs[line] {
-		if d.Name == name {
-			return true
-		}
-	}
-	for _, d := range dirs[line-1] {
-		if d.Name == name {
-			return true
-		}
-	}
-	return false
-}
-
-// DirectiveArg returns the argument of the named directive covering pos,
-// using the same placement rules as HasDirective.
-func DirectiveArg(dirs map[int][]Directive, fset *token.FileSet, pos token.Pos, name string) (string, bool) {
-	line := fset.Position(pos).Line
-	for _, d := range dirs[line] {
-		if d.Name == name {
-			return d.Arg, true
-		}
-	}
-	for _, d := range dirs[line-1] {
-		if d.Name == name {
-			return d.Arg, true
-		}
-	}
-	return "", false
 }
 
 // CommentGroupHas reports whether a doc comment group contains the named
 // directive (used for declarations, where the directive lives in the doc
 // comment rather than on the statement line).
 func CommentGroupHas(cg *ast.CommentGroup, name string) bool {
-	if cg == nil {
-		return false
-	}
-	for _, c := range cg.List {
-		text := strings.TrimPrefix(c.Text, "//")
-		if strings.HasPrefix(text, directivePrefix+name) {
-			return true
-		}
-	}
-	return false
+	_, ok := DocDirective(cg, name)
+	return ok
 }
 
 // PathHasSuffix reports whether an import path ends with the given

@@ -46,8 +46,8 @@ func (c *Cluster) InjectFailure(plan FailurePlan) {
 	// Enable dedup bookkeeping from the start: the restored cluster must
 	// recognize messages that are already part of the recovery line.
 	for _, n := range c.nodes {
-		if n.processed == nil {
-			n.processed = map[int64]des.Time{}
+		if n.processed == nil { //ocsml:loopexempt pre-Run setup, before the simulation starts
+			n.processed = map[int64]des.Time{} //ocsml:loopexempt pre-Run setup, before the simulation starts
 		}
 	}
 	c.Sim.At(plan.At, func() { c.failProcess(plan.Proc) })
@@ -55,7 +55,10 @@ func (c *Cluster) InjectFailure(plan FailurePlan) {
 }
 
 // failProcess crashes one process: its volatile state is gone, the
-// network stops delivering to and from it.
+// network stops delivering to and from it. It fires from the simulator
+// event scheduled by InjectFailure, inside Cluster.Run.
+//
+//ocsml:loopcontext Cluster.Run
 func (c *Cluster) failProcess(proc int) {
 	n := c.nodes[proc]
 	n.failed = true
@@ -85,7 +88,11 @@ func (c *Cluster) recoveryLine() int {
 	return best
 }
 
-// recoverAll performs the coordinated rollback and resumption.
+// recoverAll performs the coordinated rollback and resumption. Like
+// failProcess it fires from the simulator event scheduled by
+// InjectFailure, inside Cluster.Run.
+//
+//ocsml:loopcontext Cluster.Run
 func (c *Cluster) recoverAll() {
 	if c.draining {
 		// The workload already completed; there is nothing to resume.

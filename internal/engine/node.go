@@ -15,6 +15,15 @@ import (
 // Node is one simulated process: the meeting point of application,
 // protocol, network and storage. It implements protocol.Env (the
 // protocol's view) and protocol.AppCtx (the application's view).
+//
+// The engine is a single-threaded discrete-event simulation: every
+// protocol and application callback fires inside Sim.Run, on the
+// goroutine executing Cluster.Run. The type-wide assertion below
+// carries that fact to the ownership analyzer, which cannot see
+// through the interface dispatch from protocol/app code back into
+// these methods.
+//
+//ocsml:loopcontext Cluster.Run
 type Node struct {
 	c     *Cluster
 	id    int
@@ -23,24 +32,28 @@ type Node struct {
 
 	// Application state: a deterministic fold over processed events plus
 	// a work counter. This is what checkpoints capture.
-	fold    uint64
-	work    int64
-	appSeq  int64
-	appDone bool
+	fold    uint64 //ocsml:loopowned Cluster.Run
+	work    int64  //ocsml:loopowned Cluster.Run
+	appSeq  int64  //ocsml:loopowned Cluster.Run
+	appDone bool   //ocsml:loopowned Cluster.Run
 
 	// Stall handling: while stall > 0 the application makes no progress;
 	// its deliveries and timer callbacks queue in deferred.
-	stall        int
-	stallStart   des.Time
-	stalledTotal des.Duration
-	deferred     []func()
+	stall        int          //ocsml:loopowned Cluster.Run
+	stallStart   des.Time     //ocsml:loopowned Cluster.Run
+	stalledTotal des.Duration //ocsml:loopowned Cluster.Run
+	deferred     []func()     //ocsml:loopowned Cluster.Run
 
-	// Failure/recovery state (only used when a failure is injected).
-	failed    bool
-	epoch     int                // bumped at rollback: invalidates timers
-	processed map[int64]des.Time // envelope id → processing time (dedup)
-	lineCFE   des.Time           // recovery line cut time after restore
-	restoreAt des.Time           // when this node was last restored (0 = never)
+	// Failure/recovery state (only used when a failure is injected):
+	// epoch is bumped at rollback and invalidates timers; processed maps
+	// envelope id → processing time for receiver-side dedup; lineCFE is
+	// the recovery-line cut time after a restore; restoreAt is when this
+	// node was last restored (0 = never).
+	failed    bool               //ocsml:loopowned Cluster.Run
+	epoch     int                //ocsml:loopowned Cluster.Run
+	processed map[int64]des.Time //ocsml:loopowned Cluster.Run
+	lineCFE   des.Time           //ocsml:loopowned Cluster.Run
+	restoreAt des.Time           //ocsml:loopowned Cluster.Run
 }
 
 // appCtx is the application's view of a Node. It shadows Env.Send with
@@ -114,7 +127,7 @@ func (n *Node) Broadcast(e *protocol.Envelope) {
 // them: a rollback invalidates everything scheduled before it.
 func (n *Node) SetTimer(d des.Duration, kind, gen int) *des.Timer {
 	ep := n.epoch
-	return n.c.Sim.After(d, func() {
+	return n.c.after(d, func() {
 		if n.epoch != ep || n.failed {
 			return
 		}
@@ -178,7 +191,7 @@ func (n *Node) StallAppFor(d des.Duration) {
 	}
 	n.StallApp()
 	ep := n.epoch
-	n.c.Sim.After(d, func() {
+	n.c.after(d, func() {
 		if n.epoch != ep {
 			return // the stall was wiped by a rollback
 		}
@@ -298,7 +311,7 @@ func (n *Node) sendApp(dst int, m protocol.AppMsg) {
 // epoch on rollback.
 func (n *Node) After(d des.Duration, fn func()) *des.Timer {
 	ep := n.epoch
-	return n.c.Sim.After(d, func() {
+	return n.c.after(d, func() {
 		if n.epoch != ep || n.failed {
 			return
 		}

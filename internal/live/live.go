@@ -202,12 +202,17 @@ type node struct {
 	proto protocol.Protocol
 	app   protocol.App
 
-	// Single-goroutine state (touched only from loop).
-	fold     uint64
-	work     int64
-	appSeq   int64
-	appDone  bool
-	stall    int
+	// Single-goroutine state, proven by the loopowned analyzer: every
+	// access runs on the loop goroutine or in a closure posted to it.
+	fold    uint64 //ocsml:loopowned loop
+	work    int64  //ocsml:loopowned loop
+	appSeq  int64  //ocsml:loopowned loop
+	appDone bool   //ocsml:loopowned loop
+	stall   int    //ocsml:loopowned loop
+	// deferred parks loop work while the app is stalled; the stored
+	// closures replay on the loop.
+	//ocsml:loopowned loop
+	//ocsml:looppost loop
 	deferred []func()
 }
 
@@ -224,6 +229,8 @@ func (n *node) loop() {
 }
 
 // post enqueues a callback onto the node's serialized loop.
+//
+//ocsml:looppost loop
 func (n *node) post(fn func()) {
 	select {
 	case n.inbox <- fn:
@@ -251,6 +258,8 @@ func (n *node) Now() des.Time { return n.c.now() }
 func (n *node) Rand() *rand.Rand { return n.rng }
 
 // Send implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *node) Send(e *protocol.Envelope) {
 	e.Src = n.id
 	if e.ID == 0 {
@@ -337,9 +346,13 @@ func (n *node) WriteStableBlocking(tag string, bytes int64, done func(start, end
 func (n *node) StorageQueueLen() int { return int(n.c.storageQ.Load()) }
 
 // StallApp implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *node) StallApp() { n.stall++ }
 
 // ResumeApp implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *node) ResumeApp() {
 	if n.stall == 0 {
 		panic("live: ResumeApp without StallApp")
@@ -365,6 +378,8 @@ func (n *node) StallAppFor(d des.Duration) {
 
 // Snapshot implements protocol.Env (no copy-cost modeling in the live
 // runtime).
+//
+//ocsml:loopcontext loop
 func (n *node) Snapshot() protocol.Snapshot {
 	return protocol.Snapshot{Bytes: 1 << 20, Fold: n.fold, Work: n.work}
 }
@@ -373,6 +388,8 @@ func (n *node) Snapshot() protocol.Snapshot {
 func (n *node) Peek() protocol.Snapshot { return n.Snapshot() }
 
 // DeliverApp implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *node) DeliverApp(e *protocol.Envelope, pre, then func()) {
 	if n.stall > 0 {
 		n.deferred = append(n.deferred, func() { n.processApp(e, pre, then) })
@@ -416,7 +433,10 @@ func (n *node) Draining() bool { return n.c.draining.Load() }
 
 type liveAppCtx struct{ *node }
 
-// Send implements protocol.AppCtx.
+// Send implements protocol.AppCtx: applications call it from
+// callbacks the node already serializes on its loop.
+//
+//ocsml:loopcontext loop
 func (a liveAppCtx) Send(dst int, m protocol.AppMsg) {
 	n := a.node
 	if dst == n.id || dst < 0 || dst >= n.c.cfg.N {
@@ -455,9 +475,13 @@ func (a liveAppCtx) After(d des.Duration, fn func()) *des.Timer {
 }
 
 // DoWork implements protocol.AppCtx.
+//
+//ocsml:loopcontext loop
 func (a liveAppCtx) DoWork(units int64) { a.node.work += units }
 
 // Done implements protocol.AppCtx.
+//
+//ocsml:loopcontext loop
 func (a liveAppCtx) Done() {
 	if a.node.appDone {
 		return

@@ -56,7 +56,7 @@ func (s ProcSet) Toggle(id int) {
 
 func (s ProcSet) check(id int) {
 	if id < 0 || id >= s.n {
-		panic(fmt.Sprintf("protocol: process id %d outside universe [0,%d)", id, s.n))
+		panic(fmt.Sprintf("protocol: process id %d outside universe [0,%d)", id, s.n)) //ocsml:alloc bounds panic, unreachable on validated input
 	}
 }
 
@@ -116,7 +116,7 @@ func (s *ProcSet) CopyFrom(other ProcSet) {
 	if cap(s.words) >= nw {
 		s.words = s.words[:nw]
 	} else {
-		s.words = make([]uint64, nw)
+		s.words = make([]uint64, nw) //ocsml:alloc grows only when the universe widens
 	}
 	copy(s.words, other.words)
 	s.n = other.n
@@ -127,7 +127,7 @@ func (s *ProcSet) CopyFrom(other ProcSet) {
 // wire codec's piggyback delta encoding. The universes must match.
 func (s ProcSet) AppendDiffIndices(dst []int, prev ProcSet) []int {
 	if s.n != prev.n {
-		panic(fmt.Sprintf("protocol: diff of mismatched universes %d and %d", s.n, prev.n))
+		panic(fmt.Sprintf("protocol: diff of mismatched universes %d and %d", s.n, prev.n)) //ocsml:alloc mismatched-universe panic, programming error
 	}
 	for i := range s.words {
 		w := s.words[i] ^ prev.words[i]
@@ -213,6 +213,14 @@ func (s ProcSet) ByteSize() int64 { return int64((s.n + 7) / 8) }
 // decoders from allocating unbounded memory on corrupt input.
 const MaxUniverse = 1 << 20
 
+// Decode errors are package-level sentinels so the hot decode path does
+// not allocate even when rejecting corrupt input.
+var (
+	errShortUniverse = errors.New("protocol: short ProcSet universe")
+	errShortBits     = errors.New("protocol: short ProcSet bits")
+	errExtraBits     = errors.New("protocol: ProcSet bits beyond universe")
+)
+
 // AppendBinary appends the set's wire encoding to b: a uvarint universe
 // size followed by ⌈n/8⌉ bytes of membership bits (little-endian within
 // each byte). The encoding matches ByteSize plus the universe prefix.
@@ -242,14 +250,14 @@ func DecodeProcSet(b []byte) (ProcSet, int, error) {
 func (s *ProcSet) DecodeInto(b []byte) (int, error) {
 	n, k := binary.Uvarint(b)
 	if k <= 0 {
-		return 0, errors.New("protocol: short ProcSet universe")
+		return 0, errShortUniverse
 	}
 	if n > MaxUniverse {
-		return 0, fmt.Errorf("protocol: ProcSet universe %d exceeds limit", n)
+		return 0, fmt.Errorf("protocol: ProcSet universe %d exceeds limit", n) //ocsml:alloc corrupt-input abort path
 	}
 	nb := (int(n) + 7) / 8
 	if len(b) < k+nb {
-		return 0, errors.New("protocol: short ProcSet bits")
+		return 0, errShortBits
 	}
 	nw := (int(n) + 63) / 64
 	if cap(s.words) >= nw {
@@ -258,7 +266,7 @@ func (s *ProcSet) DecodeInto(b []byte) (int, error) {
 			s.words[i] = 0
 		}
 	} else {
-		s.words = make([]uint64, nw)
+		s.words = make([]uint64, nw) //ocsml:alloc grows only when the universe widens
 	}
 	s.n = int(n)
 	for i := 0; i < nb; i++ {
@@ -268,7 +276,7 @@ func (s *ProcSet) DecodeInto(b []byte) (int, error) {
 	// re-encode, breaking round-trip equality guarantees.
 	if nb > 0 {
 		if extra := uint(nb*8 - int(n)); extra > 0 && b[k+nb-1]>>(8-extra) != 0 {
-			return 0, errors.New("protocol: ProcSet bits beyond universe")
+			return 0, errExtraBits
 		}
 	}
 	return k + nb, nil

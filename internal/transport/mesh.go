@@ -192,12 +192,14 @@ func (m *Mesh) Start() {
 // (unless a Hook is installed — see SendHook). A full queue (peer down
 // long enough to exhaust the buffer) drops the frame — the loss is
 // counted and left to the retransmission layer.
+//
+//ocsml:hotpath
 func (m *Mesh) Send(dst int, f *wire.Frame) {
 	if m.peers[dst] == nil {
-		panic(fmt.Sprintf("transport: P%d sending to itself", dst))
+		panic(fmt.Sprintf("transport: P%d sending to itself", dst)) //ocsml:alloc misuse panic, unreachable in production
 	}
 	if h := m.cfg.Hook; h != nil {
-		h(m.cfg.ID, dst, f, func(g *wire.Frame) { m.enqueue(dst, g) })
+		h(m.cfg.ID, dst, f, func(g *wire.Frame) { m.enqueue(dst, g) }) //ocsml:alloc fault-injection hook path, tests only
 		return
 	}
 	m.enqueue(dst, f)
@@ -205,6 +207,8 @@ func (m *Mesh) Send(dst int, f *wire.Frame) {
 
 // enqueue places one frame on the peer's outgoing queue (the post-hook
 // half of Send; delayed fault-injected frames land here from timers).
+//
+//ocsml:hotpath
 func (m *Mesh) enqueue(dst int, f *wire.Frame) {
 	p := m.peers[dst]
 	select {
@@ -325,6 +329,12 @@ func (m *Mesh) serveConn(c net.Conn) {
 // write; a write failure carries the unwritten tail over to the next
 // connection, where it is re-encoded from scratch (the new
 // connection's decoder has no delta base).
+//
+// The steady-state batch encode+write is a hot path: all its buffers
+// (wbuf, bufs, ends, pbs, batch, carry) amortize to zero allocations.
+// The dial/backoff preamble is annotated cold where it allocates.
+//
+//ocsml:hotpath
 func (m *Mesh) writerLoop(p *peer) {
 	defer m.wg.Done()
 	rng := rand.New(rand.NewSource(jitterSeed(m.cfg.Seed, m.cfg.ID, p.id)))
@@ -488,6 +498,10 @@ func jitterSeed(seed int64, id, peer int) int64 {
 // the dialer's process id as a uvarint, framed like any other payload.
 const helloVersion = 1
 
+// writeHello frames and writes the hello; it runs once per established
+// connection, so its small buffer is off the steady-state write path.
+//
+//ocsml:alloc once per connection
 func writeHello(c net.Conn, id int) error {
 	buf := binary.AppendUvarint([]byte{helloVersion}, uint64(id))
 	return writeFrame(c, buf)

@@ -96,7 +96,7 @@ type Node struct {
 	rng  *rand.Rand
 	// enc serializes outgoing envelopes into pooled frames; all Sends
 	// run on the loop goroutine, so its scratch state is single-owner.
-	enc wire.Encoder
+	enc wire.Encoder //ocsml:loopowned loop
 
 	inbox chan func()
 	quit  chan struct{}
@@ -110,16 +110,23 @@ type Node struct {
 	started atomic.Bool
 	closed  atomic.Bool
 
-	// Single-goroutine state (loop only).
-	epoch     int
-	fold      uint64
-	work      int64
-	appSeq    int64
-	appDone   bool
-	stall     int
-	deferred  []func()
-	persisted int // highest seq written to FS
-	recLine   int // last committed rollback/resume line (-1: never)
+	// Single-goroutine state, proven by the loopowned analyzer: every
+	// access runs on the named goroutine or in a closure posted to it.
+	epoch   int    //ocsml:loopowned loop
+	fold    uint64 //ocsml:loopowned loop
+	work    int64  //ocsml:loopowned loop
+	appSeq  int64  //ocsml:loopowned loop
+	appDone bool   //ocsml:loopowned loop
+	stall   int    //ocsml:loopowned loop
+	// deferred holds loop-posted work parked while the app is stalled;
+	// the stored closures replay on the loop.
+	//ocsml:loopowned loop
+	//ocsml:looppost loop
+	deferred []func()
+	// persisted is the highest seq written to FS; recLine the last
+	// committed rollback/resume line (-1: never).
+	persisted int //ocsml:loopowned storageLoop
+	recLine   int //ocsml:loopowned loop
 
 	staleDropped atomic.Int64
 	decodeErrors atomic.Int64
@@ -172,7 +179,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// would alias a pre-crash one and confuse trace pairing and dedup.
 	// Bits 40+: node, 32-39: starting epoch, 0-31: counter.
 	n.idBase = (int64(cfg.ID)+1)<<40 | int64(cfg.Epoch&0xff)<<32
-	n.enc.Version = cfg.WireVersion
+	n.enc.Version = cfg.WireVersion //ocsml:loopexempt constructor runs before Start spawns the loop
 	mesh, err := NewMesh(MeshConfig{
 		ID: cfg.ID, Addrs: cfg.Addrs, Seed: cfg.Seed, Hook: cfg.Hook,
 		Count: cfg.Count,
@@ -186,8 +193,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		// Genuine log replay, not a shortcut to the recorded result: fold
 		// the durable message log over the restored tentative state and
 		// verify it reproduces the fold recorded at finalization.
-		n.fold = n.replayFold(cfg.ResumeRec)
-		n.work = cfg.ResumeRec.CFEWork
+		n.fold = n.replayFold(cfg.ResumeRec) //ocsml:loopexempt constructor runs before Start spawns the loop
+		n.work = cfg.ResumeRec.CFEWork       //ocsml:loopexempt constructor runs before Start spawns the loop
 	}
 	return n, nil
 }
@@ -278,11 +285,15 @@ func (n *Node) DecodeErrors() int64 { return n.decodeErrors.Load() }
 
 // Post schedules fn on the node's serialized loop (cluster rollback
 // uses it to mutate protocol state safely).
+//
+//ocsml:looppost loop
 func (n *Node) Post(fn func()) { n.post(fn) }
 
 // postStorage schedules fn on the storage goroutine, serialized with
 // the disk persistence of finalized checkpoints. Returns false when the
 // node is already shut down (fn will not run).
+//
+//ocsml:looppost storageLoop
 func (n *Node) postStorage(fn func()) bool {
 	select {
 	case n.storageCh <- storeReq{fn: fn}:
@@ -304,6 +315,7 @@ func (n *Node) loop() {
 	}
 }
 
+//ocsml:looppost loop
 func (n *Node) post(fn func()) {
 	select {
 	case n.inbox <- fn:
@@ -459,6 +471,9 @@ func (n *Node) Rand() *rand.Rand { return n.rng }
 // Send implements protocol.Env: stamp, encode with the wire codec, and
 // enqueue the frame at the peer's mesh queue. The real encoded size —
 // not the simulator's synthetic Bytes estimate — is what travels.
+// Protocols call it through the Env interface from loop callbacks.
+//
+//ocsml:loopcontext loop
 func (n *Node) Send(e *protocol.Envelope) {
 	e.Src = n.cfg.ID
 	if e.ID == 0 {
@@ -503,6 +518,8 @@ func (n *Node) Broadcast(e *protocol.Envelope) {
 // SetTimer implements protocol.Env. Timers from a pre-rollback epoch
 // are dropped at fire time — the equivalent of the simulator's timer
 // invalidation at recovery.
+//
+//ocsml:loopcontext loop
 func (n *Node) SetTimer(d des.Duration, kind, gen int) *des.Timer {
 	epoch := n.epoch
 	time.AfterFunc(time.Duration(d), func() {
@@ -543,9 +560,13 @@ func (n *Node) WriteStableBlocking(tag string, bytes int64, done func(start, end
 func (n *Node) StorageQueueLen() int { return int(n.storageQ.Load()) }
 
 // StallApp implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *Node) StallApp() { n.stall++ }
 
 // ResumeApp implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *Node) ResumeApp() {
 	if n.stall == 0 {
 		panic("transport: ResumeApp without StallApp")
@@ -561,6 +582,8 @@ func (n *Node) ResumeApp() {
 }
 
 // StallAppFor implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *Node) StallAppFor(d des.Duration) {
 	if d <= 0 {
 		return
@@ -580,6 +603,8 @@ func (n *Node) StallAppFor(d des.Duration) {
 func (n *Node) Snapshot() protocol.Snapshot { return n.Peek() }
 
 // Peek implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *Node) Peek() protocol.Snapshot {
 	s := protocol.Snapshot{Bytes: 1 << 20, Fold: n.fold, Work: n.work}
 	if ra, ok := n.cfg.App.(protocol.RewindableApp); ok {
@@ -589,6 +614,8 @@ func (n *Node) Peek() protocol.Snapshot {
 }
 
 // DeliverApp implements protocol.Env.
+//
+//ocsml:loopcontext loop
 func (n *Node) DeliverApp(e *protocol.Envelope, pre, then func()) {
 	if n.stall > 0 {
 		n.deferred = append(n.deferred, func() { n.processApp(e, pre, then) })
@@ -633,7 +660,10 @@ func (n *Node) Draining() bool { return false }
 
 type nodeAppCtx struct{ *Node }
 
-// Send implements protocol.AppCtx.
+// Send implements protocol.AppCtx: the application calls it from
+// OnMessage/Start callbacks, which the node serializes on the loop.
+//
+//ocsml:loopcontext loop
 func (a nodeAppCtx) Send(dst int, m protocol.AppMsg) {
 	n := a.Node
 	if dst == n.cfg.ID || dst < 0 || dst >= n.cfg.N {
@@ -659,6 +689,8 @@ func (a nodeAppCtx) Send(dst int, m protocol.AppMsg) {
 }
 
 // After implements protocol.AppCtx.
+//
+//ocsml:loopcontext loop
 func (a nodeAppCtx) After(d des.Duration, fn func()) *des.Timer {
 	n := a.Node
 	epoch := n.epoch
@@ -678,9 +710,13 @@ func (a nodeAppCtx) After(d des.Duration, fn func()) *des.Timer {
 }
 
 // DoWork implements protocol.AppCtx.
+//
+//ocsml:loopcontext loop
 func (a nodeAppCtx) DoWork(units int64) { a.Node.work += units }
 
 // Done implements protocol.AppCtx.
+//
+//ocsml:loopcontext loop
 func (a nodeAppCtx) Done() {
 	n := a.Node
 	if n.appDone {

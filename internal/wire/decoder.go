@@ -63,6 +63,8 @@ func NewDecoder(maxVersion int) *Decoder {
 // it, its payload pointer, and any slices they carry are invalidated by
 // the next Decode/DecodeOwned call. Callers that retain the envelope
 // must use DecodeOwned.
+//
+//ocsml:hotpath
 func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
 	d.r = reader{b: data}
 	r := &d.r
@@ -75,14 +77,14 @@ func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
 		max = VersionLatest
 	}
 	if ver < Version || int(ver) > max {
-		return nil, fmt.Errorf("%w: got %d, want 1..%d", ErrVersion, ver, max)
+		return nil, errf("%w: got %d, want 1..%d", ErrVersion, ver, max)
 	}
 	kind, err := r.byte()
 	if err != nil {
 		return nil, err
 	}
 	if kind > byte(protocol.KindCtl) {
-		return nil, fmt.Errorf("wire: invalid kind %d", kind)
+		return nil, errf("wire: invalid kind %d", kind)
 	}
 	e := &d.env
 	*e = protocol.Envelope{Kind: protocol.Kind(kind)}
@@ -98,7 +100,7 @@ func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
 		return nil, err
 	}
 	if src > protocol.MaxUniverse || dst > protocol.MaxUniverse {
-		return nil, fmt.Errorf("wire: endpoint out of range %d->%d", src, dst)
+		return nil, errf("wire: endpoint out of range %d->%d", src, dst)
 	}
 	e.Src, e.Dst = int(src), int(dst)
 	if e.Bytes, err = r.varint(); err != nil {
@@ -114,7 +116,7 @@ func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
 		return nil, err
 	}
 	if epoch > 1<<30 {
-		return nil, fmt.Errorf("wire: epoch %d out of range", epoch)
+		return nil, errf("wire: epoch %d out of range", epoch)
 	}
 	e.Epoch = int(epoch)
 	tagLen, err := r.uvarint()
@@ -122,7 +124,7 @@ func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
 		return nil, err
 	}
 	if tagLen > MaxCtlTag {
-		return nil, fmt.Errorf("wire: control tag length %d exceeds %d", tagLen, MaxCtlTag)
+		return nil, errf("wire: control tag length %d exceeds %d", tagLen, MaxCtlTag)
 	}
 	tag, err := r.bytes(int(tagLen))
 	if err != nil {
@@ -142,7 +144,7 @@ func (d *Decoder) Decode(data []byte) (*protocol.Envelope, error) {
 		return nil, err
 	}
 	if r.off != len(data) {
-		return nil, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(data)-r.off)
+		return nil, errf("%w: %d byte(s)", ErrTrailing, len(data)-r.off)
 	}
 	// The frame decoded in full: if it carried a piggyback (absolute or
 	// reconstructed from a delta), it becomes the connection's new base.
@@ -208,14 +210,14 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 			return nil, err
 		}
 		if csn > 1<<40 {
-			return nil, fmt.Errorf("wire: piggyback csn %d out of range", csn)
+			return nil, errf("wire: piggyback csn %d out of range", csn)
 		}
 		stat, err := r.byte()
 		if err != nil {
 			return nil, err
 		}
 		if stat > byte(core.Tentative) {
-			return nil, fmt.Errorf("wire: invalid piggyback status %d", stat)
+			return nil, errf("wire: invalid piggyback status %d", stat)
 		}
 		set := d.cur.TentSet
 		k, err := set.DecodeInto(r.b[r.off:])
@@ -231,7 +233,7 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 			return nil, err
 		}
 		if csn > 1<<40 {
-			return nil, fmt.Errorf("wire: control csn %d out of range", csn)
+			return nil, errf("wire: control csn %d out of range", csn)
 		}
 		d.ctl = core.CtlMsg{Csn: int(csn)}
 		return &d.ctl, nil
@@ -252,21 +254,21 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 			return nil, err
 		}
 		if line > 1<<40 {
-			return nil, fmt.Errorf("wire: recovery line %d out of range", line)
+			return nil, errf("wire: recovery line %d out of range", line)
 		}
 		epoch, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
 		if epoch > 1<<30 {
-			return nil, fmt.Errorf("wire: recovery epoch %d out of range", epoch)
+			return nil, errf("wire: recovery epoch %d out of range", epoch)
 		}
 		count, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
 		if count > maxRbSeqs {
-			return nil, fmt.Errorf("wire: recovery report length %d out of range", count)
+			return nil, errf("wire: recovery report length %d out of range", count)
 		}
 		d.seqs = d.seqs[:0]
 		for i := uint64(0); i < count; i++ {
@@ -275,7 +277,7 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 				return nil, err
 			}
 			if q > 1<<40 {
-				return nil, fmt.Errorf("wire: recovery seq %d out of range", q)
+				return nil, errf("wire: recovery seq %d out of range", q)
 			}
 			d.seqs = append(d.seqs, int(q))
 		}
@@ -287,27 +289,27 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 		return &d.rb, nil
 	case ptPiggybackDelta:
 		if ver < Version2 {
-			return nil, fmt.Errorf("%w: delta block in v%d frame", ErrPayload, ver)
+			return nil, errf("%w: delta block in v%d frame", ErrPayload, ver)
 		}
 		if !d.prevOK {
 			return nil, ErrDeltaBase
 		}
 		if d.env.Epoch != d.prevEpoch {
-			return nil, fmt.Errorf("%w: base epoch %d, frame epoch %d", ErrDeltaBase, d.prevEpoch, d.env.Epoch)
+			return nil, errf("%w: base epoch %d, frame epoch %d", ErrDeltaBase, d.prevEpoch, d.env.Epoch)
 		}
 		dcsn, err := r.varint()
 		if err != nil {
 			return nil, err
 		}
 		if dcsn < -(1<<40) || dcsn > 1<<40 {
-			return nil, fmt.Errorf("wire: piggyback csn delta %d out of range", dcsn)
+			return nil, errf("wire: piggyback csn delta %d out of range", dcsn)
 		}
 		stat, err := r.byte()
 		if err != nil {
 			return nil, err
 		}
 		if stat > byte(core.Tentative) {
-			return nil, fmt.Errorf("wire: invalid piggyback status %d", stat)
+			return nil, errf("wire: invalid piggyback status %d", stat)
 		}
 		count, err := r.uvarint()
 		if err != nil {
@@ -315,7 +317,7 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 		}
 		n := d.prev.TentSet.Universe()
 		if count > uint64(n) {
-			return nil, fmt.Errorf("wire: piggyback delta flips %d bits in universe %d", count, n)
+			return nil, errf("wire: piggyback delta flips %d bits in universe %d", count, n)
 		}
 		// Gap-decoded ascending indices; bounds-checked against the
 		// base's universe so Apply below cannot fail on range.
@@ -327,7 +329,7 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 				return nil, err
 			}
 			if g > uint64(n) {
-				return nil, fmt.Errorf("wire: piggyback delta gap %d out of range", g)
+				return nil, errf("wire: piggyback delta gap %d out of range", g)
 			}
 			if idx < 0 {
 				idx = int(g)
@@ -335,7 +337,7 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 				idx += 1 + int(g)
 			}
 			if idx >= n {
-				return nil, fmt.Errorf("wire: piggyback delta flips bit %d outside universe [0,%d)", idx, n)
+				return nil, errf("wire: piggyback delta flips bit %d outside universe [0,%d)", idx, n)
 			}
 			d.flips = append(d.flips, idx)
 		}
@@ -349,11 +351,11 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 			return nil, err
 		}
 		if d.cur.Csn > 1<<40 {
-			return nil, fmt.Errorf("wire: piggyback csn %d out of range", d.cur.Csn)
+			return nil, errf("wire: piggyback csn %d out of range", d.cur.Csn)
 		}
 		return &d.cur, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrPayload, pt)
+		return nil, errf("%w: %d", ErrPayload, pt)
 	}
 }
 
@@ -361,7 +363,7 @@ func decodePayload(r *reader, d *Decoder, ver byte) (any, error) {
 // compile-time string constants, so decoding a control frame does not
 // allocate. Unknown tags fall back to a fresh string.
 func internTag(b []byte) string {
-	switch string(b) {
+	switch string(b) { //ocsml:alloc comparison-only conversion, not materialized by the compiler
 	case "":
 		return ""
 	case core.TagBGN:
@@ -381,5 +383,5 @@ func internTag(b []byte) string {
 	case protocol.TagRbAck:
 		return protocol.TagRbAck
 	}
-	return string(b)
+	return string(b) //ocsml:alloc unknown tag: an interning miss is a cold path
 }

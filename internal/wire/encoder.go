@@ -2,7 +2,6 @@ package wire
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"ocsml/internal/core"
 	"ocsml/internal/protocol"
@@ -32,13 +31,15 @@ func (enc *Encoder) version() (byte, error) {
 	case Version2:
 		return Version2, nil
 	}
-	return 0, fmt.Errorf("%w: encoder configured for %d", ErrVersion, enc.Version)
+	return 0, errf("%w: encoder configured for %d", ErrVersion, enc.Version)
 }
 
 // EncodeFrame serializes e into f, reusing f's storage. The frame holds
 // a self-contained encoding (absolute piggyback block) plus the sidecar
 // PeerEncoder.AppendFrame needs to delta-rewrite it per connection. On
 // error the frame is left empty.
+//
+//ocsml:hotpath
 func (enc *Encoder) EncodeFrame(f *Frame, e *protocol.Envelope) error {
 	ver, err := enc.version()
 	if err != nil {
@@ -99,6 +100,8 @@ func (pe *PeerEncoder) Reset() { pe.has = false }
 // extended buffer plus the number of payload-block bytes written (the
 // piggyback overhead accounting for this frame; 0 for frames without
 // a piggyback).
+//
+//ocsml:hotpath
 func (pe *PeerEncoder) AppendFrame(dst []byte, f *Frame) ([]byte, int) {
 	if !f.hasPB {
 		return append(dst, f.data...), 0
@@ -117,6 +120,8 @@ func (pe *PeerEncoder) AppendFrame(dst []byte, f *Frame) ([]byte, int) {
 
 // EncodedSize returns the exact number of bytes the next
 // AppendFrame(dst, f) would append, without advancing the delta state.
+//
+//ocsml:hotpath
 func (pe *PeerEncoder) EncodedSize(f *Frame) int {
 	if !f.hasPB {
 		return len(f.data)

@@ -92,6 +92,16 @@ func PayloadKind(payload any) string {
 	return reflect.TypeOf(payload).String()
 }
 
+// errf builds a corrupt-input or misconfiguration error. Every call is
+// an abort path — a failed encode or decode discards the whole frame —
+// so the formatting allocations (and the boxing of the operands) are
+// off the steady-state path by construction.
+//
+//ocsml:alloc error construction, abort paths only
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
 // Encode serializes the envelope into a fresh buffer.
 func Encode(e *protocol.Envelope) ([]byte, error) {
 	return Append(nil, e)
@@ -110,13 +120,13 @@ func Append(buf []byte, e *protocol.Envelope) ([]byte, error) {
 // fields up to but excluding the payload block), identical in v1 and v2.
 func appendHeader(buf []byte, e *protocol.Envelope, ver byte) ([]byte, error) {
 	if e.Src < 0 || e.Dst < 0 {
-		return nil, fmt.Errorf("wire: negative endpoint %d->%d", e.Src, e.Dst)
+		return nil, errf("wire: negative endpoint %d->%d", e.Src, e.Dst)
 	}
 	if len(e.CtlTag) > MaxCtlTag {
-		return nil, fmt.Errorf("wire: control tag %q exceeds %d bytes", e.CtlTag, MaxCtlTag)
+		return nil, errf("wire: control tag %q exceeds %d bytes", e.CtlTag, MaxCtlTag)
 	}
 	if e.Epoch < 0 {
-		return nil, fmt.Errorf("wire: negative epoch %d", e.Epoch)
+		return nil, errf("wire: negative epoch %d", e.Epoch)
 	}
 	buf = append(buf, ver, byte(e.Kind))
 	buf = binary.AppendVarint(buf, e.ID)
@@ -139,7 +149,7 @@ func appendPayload(buf []byte, payload any) ([]byte, error) {
 		return append(buf, ptNone), nil
 	case core.Piggyback:
 		if p.Csn < 0 {
-			return nil, fmt.Errorf("wire: negative piggyback csn %d", p.Csn)
+			return nil, errf("wire: negative piggyback csn %d", p.Csn)
 		}
 		buf = append(buf, ptPiggyback)
 		buf = binary.AppendUvarint(buf, uint64(p.Csn))
@@ -147,7 +157,7 @@ func appendPayload(buf []byte, payload any) ([]byte, error) {
 		return p.TentSet.AppendBinary(buf), nil
 	case core.CtlMsg:
 		if p.Csn < 0 {
-			return nil, fmt.Errorf("wire: negative control csn %d", p.Csn)
+			return nil, errf("wire: negative control csn %d", p.Csn)
 		}
 		buf = append(buf, ptCtlMsg)
 		return binary.AppendUvarint(buf, uint64(p.Csn)), nil
@@ -156,10 +166,10 @@ func appendPayload(buf []byte, payload any) ([]byte, error) {
 		return binary.AppendVarint(buf, p.ID), nil
 	case protocol.RbMsg:
 		if p.Line < 0 || p.Epoch < 0 {
-			return nil, fmt.Errorf("wire: negative recovery line %d or epoch %d", p.Line, p.Epoch)
+			return nil, errf("wire: negative recovery line %d or epoch %d", p.Line, p.Epoch)
 		}
 		if len(p.Seqs) > maxRbSeqs {
-			return nil, fmt.Errorf("wire: recovery report with %d seqs exceeds %d", len(p.Seqs), maxRbSeqs)
+			return nil, errf("wire: recovery report with %d seqs exceeds %d", len(p.Seqs), maxRbSeqs)
 		}
 		buf = append(buf, ptRb)
 		buf = binary.AppendVarint(buf, p.Round)
@@ -168,13 +178,13 @@ func appendPayload(buf []byte, payload any) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(len(p.Seqs)))
 		for _, q := range p.Seqs {
 			if q < 0 {
-				return nil, fmt.Errorf("wire: negative recovery seq %d", q)
+				return nil, errf("wire: negative recovery seq %d", q)
 			}
 			buf = binary.AppendUvarint(buf, uint64(q))
 		}
 		return buf, nil
 	default:
-		return nil, fmt.Errorf("wire: unregistered payload type %T", payload)
+		return nil, errf("wire: unregistered payload type %T", payload)
 	}
 }
 
