@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ocsmlvet-bin fmt lint staticcheck vuln generate chaos ctl soak fuzz bench-wire bench-durability
+.PHONY: all build test race vet ocsmlvet-bin fmt lint staticcheck vuln generate chaos ctl soak fuzz bench-wire bench-durability model-check
 
 all: build test
 
@@ -83,6 +83,32 @@ soak:
 fuzz:
 	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeV2 -fuzztime 30s ./internal/wire/
+
+# model-check is the bounded model-checking gate (DESIGN.md §16): the
+# faithful protocol model must explore clean over every interleaving at
+# N=2..MODEL_N, every mutation fixture (drop-log, reorder-finalize,
+# skip-consume) must yield a counterexample trace, and each trace must
+# replay under tracecheck exhibiting the claimed orphan / replay-gap /
+# Z-cycle violation (tracecheck exiting 1 is the expected outcome per
+# trace). PR CI runs the small default bounds (~5 s); the nightly soak
+# passes MODEL_INITS=2 for the full sweep (~1 min).
+MODEL_N ?= 3
+MODEL_MSGS ?= 4
+MODEL_INITS ?= 1
+MODEL_CRASHES ?= 1
+MODEL_OUT ?= model-traces
+
+model-check:
+	$(GO) build -o bin/ocsmlcheck ./cmd/ocsmlcheck
+	$(GO) build -o bin/tracecheck ./cmd/tracecheck
+	rm -rf $(MODEL_OUT) && mkdir -p $(MODEL_OUT)
+	bin/ocsmlcheck -n $(MODEL_N) -msgs $(MODEL_MSGS) -inits $(MODEL_INITS) \
+		-crashes $(MODEL_CRASHES) -out $(MODEL_OUT)
+	@for f in $(MODEL_OUT)/cex-*.jsonl; do \
+		if bin/tracecheck -n 2 -replay -zcycle $$f >/dev/null; then \
+			echo "$$f: tracecheck reproduced NO violation"; exit 1; \
+		else echo "$$f: violation reproduced under tracecheck"; fi; \
+	done
 
 # bench-wire is the wire-hot-path perf gate: the allocation-regression
 # tests (exact-zero asserts need a race-free build, so `make race` skips

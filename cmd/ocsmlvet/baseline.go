@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The baseline file suppresses accepted findings without inline
+// directives: a checked-in JSON list of (file, analyzer, message)
+// triples, matched against findings with the file path made relative to
+// the module root (so the baseline is stable across checkouts). Line
+// numbers are deliberately not part of the key — accepted findings
+// should survive unrelated edits above them.
+
+// baselineEntry identifies one accepted finding.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineFile is the on-disk format.
+type baselineFile struct {
+	// Comment documents the file's purpose for readers of the checkout.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+func (e baselineEntry) key() string {
+	return e.File + "\x00" + e.Analyzer + "\x00" + e.Message
+}
+
+// loadBaseline reads the baseline at path; a missing file is an empty
+// baseline (nil error) so the default path need not exist.
+func loadBaseline(path string) (map[string]bool, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(b)) == 0 {
+		return nil, nil // an empty file is an empty baseline
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	set := make(map[string]bool, len(bf.Findings))
+	for _, e := range bf.Findings {
+		set[e.key()] = true
+	}
+	return set, nil
+}
+
+// relFile makes a finding's file path module-root-relative with forward
+// slashes, the form baseline entries use.
+func relFile(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// applyBaseline partitions findings into kept and suppressed.
+func applyBaseline(root string, findings []finding, baseline map[string]bool) (kept []finding, suppressed int) {
+	if len(baseline) == 0 {
+		return findings, 0
+	}
+	for _, f := range findings {
+		e := baselineEntry{File: relFile(root, f.File), Analyzer: f.Analyzer, Message: f.Message}
+		if baseline[e.key()] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// writeBaseline records the current findings as the accepted set.
+func writeBaseline(path, root string, findings []finding) error {
+	bf := baselineFile{
+		Comment:  "accepted ocsmlvet findings; regenerate with ocsmlvet -write-baseline (matched by file+analyzer+message, not line)",
+		Findings: make([]baselineEntry, 0, len(findings)),
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		e := baselineEntry{File: relFile(root, f.File), Analyzer: f.Analyzer, Message: f.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		bf.Findings = append(bf.Findings, e)
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool { return bf.Findings[i].key() < bf.Findings[j].key() })
+	b, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,4 +1,4 @@
-// Command ocsmlvet is the repository's analysis suite: ten custom
+// Command ocsmlvet is the repository's analysis suite: eleven custom
 // analyzers that mechanically enforce the invariants the runtime
 // depends on but the compiler cannot see.
 //
@@ -31,21 +31,36 @@
 //	allocfree          //ocsml:hotpath functions and everything they call
 //	                   stay allocation-free; cold paths carry
 //	                   //ocsml:alloc <why>
+//	protomodel         the transition system extracted from internal/core
+//	                   (states, declared transitions, piggyback facts)
+//	                   matches the executable model the bounded checker
+//	                   (internal/protomodel, cmd/ocsmlcheck) explores
 //
 // Usage:
 //
-//	ocsmlvet [-list] [-json] [-sarif] [-tags tag,list] [packages]
+//	ocsmlvet [-list] [-json] [-sarif] [-fix] [-model] [-tags tag,list]
+//	         [-baseline file] [-write-baseline] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit
-// status is 1 when any diagnostic is reported, 2 on a load error.
-// Diagnostics print in deterministic (file, line, column, analyzer)
-// order with exact duplicates removed; -json emits one JSON object per
-// finding, one per line, for tooling, and -sarif emits a SARIF 2.1.0
-// log for GitHub code scanning. -tags adds build tags to file matching
-// (the soak harness files are analyzed with -tags soak).
+// status is 1 when any error-severity diagnostic is reported (warnings
+// are advisory), 2 on a load error. Diagnostics print in deterministic
+// (file, line, column, analyzer) order with exact duplicates removed;
+// -json emits one JSON object per finding, one per line, for tooling,
+// and -sarif emits a SARIF 2.1.0 log for GitHub code scanning with
+// severity carried as the result level. -tags adds build tags to file
+// matching (the soak harness files are analyzed with -tags soak).
 //
-// The suite is wired into `make lint` and CI; a finding is a build
-// failure, not advice. The analyzers are stdlib-only (go/parser +
+// -fix applies the suggested fixes of mechanical diagnostics (a missing
+// //ocsml:state table entry, a missing //ocsml:loopcontext assertion)
+// to the source files in place, then reports what remains. -baseline
+// points at a checked-in JSON file of accepted findings (default
+// .ocsmlvet-baseline.json at the module root) that are suppressed
+// without inline directives; -write-baseline regenerates that file from
+// the current findings. -model skips the analyzers and prints the
+// protocol transition systems extracted from source as JSON.
+//
+// The suite is wired into `make lint` and CI; an error finding is a
+// build failure, not advice. The analyzers are stdlib-only (go/parser +
 // go/types), so the tool builds in the dependency-free repository; the
 // same analyzers would port mechanically to a golang.org/x/tools
 // go/analysis multichecker (and `go vet -vettool`) where that
@@ -67,6 +82,7 @@ import (
 	"ocsml/internal/analysis/lockdiscipline"
 	"ocsml/internal/analysis/loopowned"
 	"ocsml/internal/analysis/piggybackcomplete"
+	"ocsml/internal/analysis/protomodel"
 	"ocsml/internal/analysis/quitpath"
 	"ocsml/internal/analysis/statemachine"
 	"ocsml/internal/analysis/vetkit"
@@ -85,24 +101,33 @@ var analyzers = []*vetkit.Analyzer{
 	loopowned.Analyzer,
 	quitpath.Analyzer,
 	allocfree.Analyzer,
+	protomodel.Analyzer,
 }
 
 // finding is the -json wire format: one object per diagnostic, one per
 // line, matching the GitHub Actions problem matcher in
-// .github/problem-matchers/ocsmlvet.json.
+// .github/problem-matchers/ocsmlvet.json. EndLine/EndCol are present
+// when the diagnostic flags a range rather than a point.
 type finding struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
 	Message  string `json:"message"`
+	EndLine  int    `json:"endLine,omitempty"`
+	EndCol   int    `json:"endCol,omitempty"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
 	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout")
+	fix := flag.Bool("fix", false, "apply suggested fixes to source files in place")
+	modelOut := flag.Bool("model", false, "print the extracted protocol transition systems as JSON and exit")
 	tags := flag.String("tags", "", "comma-separated build tags for file matching")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (default <module>/.ocsmlvet-baseline.json)")
+	writeBase := flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -119,6 +144,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	modDir := loader.Roots[modPath]
 	if *tags != "" {
 		loader.SetBuildTags(strings.Split(*tags, ","))
 	}
@@ -140,17 +166,40 @@ func main() {
 	}
 	program := vetkit.NewProgram(loader.Packages)
 
+	if *modelOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(protomodel.Extract(program)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	diags, err := vetkit.Run(analyzers, pkgs, program)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *fix {
+		_, remaining, err := applyFixes(loader, diags)
+		if err != nil {
+			fatal(err)
+		}
+		diags = remaining
+	}
+
 	var findings []finding
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
-		findings = append(findings, finding{
+		f := finding{
 			File: pos.Filename, Line: pos.Line, Col: pos.Column,
-			Analyzer: d.Analyzer, Message: d.Message,
-		})
+			Analyzer: d.Analyzer, Severity: d.Severity.String(), Message: d.Message,
+		}
+		if d.End.IsValid() {
+			end := loader.Fset.Position(d.End)
+			f.EndLine, f.EndCol = end.Line, end.Column
+		}
+		findings = append(findings, f)
 	}
 
 	// Fuzz-corpus completeness: wireexhaustive's dynamic half. Every
@@ -166,14 +215,39 @@ func main() {
 		for _, kind := range missing {
 			findings = append(findings, finding{
 				File: corpus, Line: 1, Col: 1, Analyzer: "wireexhaustive",
-				Message: fmt.Sprintf("payload kind %s has no decodable seed in the checked-in fuzz corpus (regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire)", kind),
+				Severity: vetkit.SevError.String(),
+				Message:  fmt.Sprintf("payload kind %s has no decodable seed in the checked-in fuzz corpus (regenerate with WIRE_REGEN_CORPUS=1 go test ./internal/wire)", kind),
 			})
+		}
+	}
+
+	basePath := *baselinePath
+	if basePath == "" {
+		basePath = filepath.Join(modDir, ".ocsmlvet-baseline.json")
+	}
+	if *writeBase {
+		if err := writeBaseline(basePath, modDir, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d accepted findings to %s\n", len(findings), basePath)
+		return
+	}
+	baseline, err := loadBaseline(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	findings, suppressed := applyBaseline(modDir, findings, baseline)
+
+	errors := 0
+	for _, f := range findings {
+		if f.Severity == "error" {
+			errors++
 		}
 	}
 
 	switch {
 	case *sarifOut:
-		if err := writeSARIF(os.Stdout, cwd, findings); err != nil {
+		if err := writeSARIF(os.Stdout, modDir, findings); err != nil {
 			fatal(err)
 		}
 	case *jsonOut:
@@ -185,13 +259,51 @@ func main() {
 		}
 	default:
 		for _, f := range findings {
-			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			fmt.Printf("%s:%d:%d: %s: %s: %s\n", f.File, f.Line, f.Col, f.Severity, f.Analyzer, f.Message)
 		}
 	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "ocsmlvet: %d finding(s) suppressed by %s\n", suppressed, basePath)
+	}
 
-	if len(findings) > 0 {
+	if errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// applyFixes writes every suggested fix to disk and returns the
+// diagnostics that were fixed and those that remain.
+func applyFixes(loader *vetkit.Loader, diags []vetkit.Diagnostic) (fixed, remaining []vetkit.Diagnostic, err error) {
+	plans, err := vetkit.PlanFixes(loader.Fset, diags)
+	if err != nil {
+		return nil, nil, err
+	}
+	applied := map[string]bool{} // by position+analyzer+message
+	diagKey := func(d vetkit.Diagnostic) string {
+		p := loader.Fset.Position(d.Pos)
+		return fmt.Sprintf("%s:%d:%d:%s:%s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+	for _, ff := range plans {
+		content, err := vetkit.ApplyFix(loader.Fset, ff)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := os.WriteFile(ff.Filename, content, 0o644); err != nil {
+			return nil, nil, err
+		}
+		for _, d := range ff.Applied {
+			applied[diagKey(d)] = true
+		}
+		fmt.Printf("fixed %s: %d edit(s)\n", ff.Filename, len(ff.Edits))
+	}
+	for _, d := range diags {
+		if applied[diagKey(d)] {
+			fixed = append(fixed, d)
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	return fixed, remaining, nil
 }
 
 // decodePayloadKind classifies one corpus frame with the real decoder.

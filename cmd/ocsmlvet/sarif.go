@@ -64,6 +64,11 @@ type sarifArtifact struct {
 type sarifRegion struct {
 	StartLine   int `json:"startLine"`
 	StartColumn int `json:"startColumn"`
+	EndLine     int `json:"endLine,omitempty"`
+	// EndColumn is required even for point findings: without it code
+	// scanning extends the annotation to the whole line, so a
+	// single-character finding renders as a full-line highlight.
+	EndColumn int `json:"endColumn"`
 }
 
 // writeSARIF renders the findings as one SARIF run. File paths are
@@ -87,14 +92,30 @@ func writeSARIF(w io.Writer, root string, findings []finding) error {
 		if col < 1 {
 			col = 1
 		}
+		region := sarifRegion{StartLine: line, StartColumn: col}
+		switch {
+		case f.EndCol > 0:
+			region.EndColumn = f.EndCol
+			if f.EndLine > 0 && f.EndLine != line {
+				region.EndLine = f.EndLine
+			}
+		default:
+			// Point finding: a one-character region (endColumn is
+			// exclusive in SARIF).
+			region.EndColumn = col + 1
+		}
+		level := f.Severity
+		if level != "warning" {
+			level = "error"
+		}
 		results = append(results, sarifResult{
 			RuleID:  f.Analyzer,
-			Level:   "error",
+			Level:   level,
 			Message: sarifMessage{Text: f.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
 					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri), URIBaseID: "%SRCROOT%"},
-					Region:           sarifRegion{StartLine: line, StartColumn: col},
+					Region:           region,
 				},
 			}},
 		})

@@ -1,14 +1,25 @@
 // Command tracecheck verifies the consistency of the global checkpoints
-// recorded in a trace file (JSON Lines, as written by ckptsim -trace-out).
+// recorded in a trace file (JSON Lines, as written by ckptsim -trace-out
+// or by the model checker cmd/ocsmlcheck).
 //
 // For every checkpoint sequence number that has a cut event on all N
 // processes, it reports whether the cut is consistent (no orphan
-// messages) and how many messages were in flight across it.
+// messages) and how many messages were in flight across it. Two further
+// offline checks are opt-in:
+//
+//	-replay  selective-logging sufficiency: every message sent or
+//	         received inside a finalized tentative interval must have a
+//	         matching log-send/log-recv event (requires a trace with log
+//	         events, e.g. a counterexample from cmd/ocsmlcheck)
+//	-zcycle  Z-cycle freedom: the rollback-dependency graph over
+//	         checkpoint intervals must be acyclic (Netzer–Xu)
 //
 // Usage:
 //
 //	ckptsim -proto ocsml -n 6 -steps 500 -trace-out run.jsonl
 //	tracecheck -n 6 run.jsonl
+//	ocsmlcheck -out traces
+//	tracecheck -n 2 -replay -zcycle traces/cex-drop-log.jsonl
 package main
 
 import (
@@ -21,12 +32,14 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 0, "number of processes (required)")
-		kind = flag.String("kind", "auto", "cut event kind: finalize|checkpoint|auto")
+		n      = flag.Int("n", 0, "number of processes (required)")
+		kind   = flag.String("kind", "auto", "cut event kind: finalize|checkpoint|auto")
+		replay = flag.Bool("replay", false, "check selective-logging replay sufficiency (needs log events in the trace)")
+		zcycle = flag.Bool("zcycle", false, "check the rollback-dependency graph for Z-cycles")
 	)
 	flag.Parse()
 	if *n < 2 || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck -n <procs> <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -n <procs> [-replay] [-zcycle] <trace.jsonl>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -111,6 +124,36 @@ func main() {
 			}
 		}
 	}
+
+	if *replay {
+		gaps := trace.CheckReplay(events)
+		if len(gaps) == 0 {
+			fmt.Println("replay: selective log covers every finalized tentative interval")
+		} else {
+			bad++
+			fmt.Printf("replay: %d GAP(S) — the selective log cannot replay the interval exactly once\n", len(gaps))
+			for _, g := range gaps {
+				fmt.Printf("      %s\n", g)
+			}
+		}
+	}
+
+	if *zcycle {
+		if cyc := trace.ZCycles(events, cutKind); cyc == nil {
+			fmt.Println("zcycle: rollback-dependency graph is acyclic")
+		} else {
+			bad++
+			fmt.Printf("zcycle: Z-CYCLE through checkpoint intervals:")
+			for i, iv := range cyc {
+				if i > 0 {
+					fmt.Print(" ->")
+				}
+				fmt.Printf(" %s", iv)
+			}
+			fmt.Println()
+		}
+	}
+
 	if bad > 0 {
 		os.Exit(1)
 	}

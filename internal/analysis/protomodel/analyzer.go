@@ -1,0 +1,159 @@
+package protomodel
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+
+	"ocsml/internal/analysis/vetkit"
+	model "ocsml/internal/protomodel"
+)
+
+// Analyzer is the model-conformance analysis: the transition system
+// extracted from the core OCSML implementation must match the one the
+// bounded explorer (internal/protomodel) checks the paper's theorems
+// against.
+var Analyzer = &vetkit.Analyzer{
+	Name: "protomodel",
+	Doc:  "the core protocol implementation matches the executable model the bounded checker explores",
+	Run:  run,
+}
+
+var cache = map[*vetkit.Program][]Model{}
+
+// models memoizes Extract per program.
+func models(program *vetkit.Program) []Model {
+	if ms, ok := cache[program]; ok {
+		return ms
+	}
+	ms := Extract(program)
+	cache[program] = ms
+	return ms
+}
+
+func run(pass *vetkit.Pass) error {
+	ms := models(pass.Program)
+
+	// Advisory: a piggyback-carrying implementation without an
+	// //ocsml:state table has a checkpoint lifecycle the statemachine
+	// analyzer cannot check and the extractor cannot lift into a model.
+	// Reported from the defining package at warning severity; accepted
+	// cases live in the checked-in ocsmlvet baseline.
+	for i := range ms {
+		m := &ms[i]
+		if m.Obj == nil || m.Obj.Pkg() == nil || m.Obj.Pkg().Path() != pass.Pkg.Path() {
+			continue
+		}
+		if !m.NoPiggyback && m.StateField == "" {
+			pass.Report(vetkit.Diagnostic{
+				Pos:      m.Obj.Pos(),
+				Severity: vetkit.SevWarning,
+				Message:  fmt.Sprintf("%s attaches a piggyback but has no //ocsml:state table: its checkpoint lifecycle is invisible to the statemachine analyzer and the model extractor", m.Impl),
+			})
+		}
+	}
+
+	// Conformance is reported from the core package only: the claim is
+	// about internal/core, and one pass owning the report keeps it
+	// deduped.
+	if !vetkit.PathHasSuffix(pass.Pkg.Path(), "internal/core") {
+		return nil
+	}
+	var core *Model
+	for i := range ms {
+		if ms[i].Impl == "core.Protocol" {
+			core = &ms[i]
+			break
+		}
+	}
+	if core == nil {
+		return nil // fixture tree without the core implementation
+	}
+	pos := implPos(pass, "Protocol")
+	report := func(format string, args ...any) {
+		pass.Reportf(pos, "implementation diverges from the executable model (internal/protomodel): %s — review both and re-run make model-check", fmt.Sprintf(format, args...))
+	}
+
+	wantStates, wantEdges := model.Shape()
+	if !equalStrings(core.States, wantStates) {
+		report("state set %v, model checks %v", core.States, wantStates)
+	}
+	var gotEdges [][2]string
+	for _, t := range core.Transitions {
+		gotEdges = append(gotEdges, [2]string{t.From, t.To})
+	}
+	if !equalEdges(gotEdges, wantEdges) {
+		report("declared transitions %v, model implements %v", gotEdges, wantEdges)
+	}
+
+	// The Figure-3 receive path must be able to finalize
+	// (Tentative->Normal, the pre-rule and case 2b) and to join a new
+	// initiation (Normal->Tentative, case 4b) — the two moves the
+	// explorer's deliver action performs.
+	if od := core.Handler("OnDeliver"); od == nil {
+		report("no OnDeliver handler found")
+	} else {
+		if !od.HasTransition("Tentative", "Normal") {
+			report("OnDeliver cannot reach a declared Tentative->Normal (finalize) write")
+		}
+		if !od.HasTransition("Normal", "Tentative") {
+			report("OnDeliver cannot reach a declared Normal->Tentative (takeTentative) write")
+		}
+	}
+	for _, h := range core.Handlers {
+		for _, w := range h.StateWrites {
+			if !w.Declared {
+				report("%s reaches an undeclared state write in %s (%v -> %s)", h.Name, w.Fn, w.From, w.To)
+			}
+		}
+	}
+
+	// The model's piggyback is total: attached on every send, examined
+	// before the store is touched on every delivery.
+	if core.NoPiggyback {
+		report("core implementation is marked //ocsml:nopiggyback but the model piggybacks every message")
+	}
+	if !core.Attaches {
+		report("OnAppSend is not proven to attach the piggyback on every path; the model attaches unconditionally")
+	}
+	if !core.ConsumesFirst {
+		report("OnDeliver is not proven to consume the piggyback before mutating checkpoint state; the model's receive rules dispatch on it")
+	}
+	return nil
+}
+
+// implPos finds the declaration position of the named type in the pass
+// package.
+func implPos(pass *vetkit.Pass, name string) token.Pos {
+	if obj, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName); ok {
+		return obj.Pos()
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Pos()
+	}
+	return token.NoPos
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalEdges(a, b [][2]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+// Package protomodel statically lifts the protocol implementations into
+// explicit transition systems and cross-checks the core OCSML one
+// against the executable model in internal/protomodel.
+//
+// Extraction composes facts the other analyzers already prove instead
+// of re-deriving them, so the extracted model and the enforced
+// invariants can never disagree:
+//
+//   - states and declared transitions come from the //ocsml:state
+//     tables the statemachine analyzer validates (statemachine.Tables);
+//   - the guarded state-field writes — which handler paths perform
+//     which transition, and from which proven from-states — come from
+//     the same forward analysis (statemachine.TransitionWrites) joined
+//     against the whole-program callgraph's reachability from each
+//     protocol.Protocol handler;
+//   - piggyback attach/consume obligations come from piggybackcomplete
+//     (piggybackcomplete.Facts);
+//   - the remaining protocol-state mutations (csn, tentSet, logSet and
+//     their baseline equivalents) are collected syntactically: every
+//     assignment, increment, or method call that targets a field of the
+//     implementation struct inside a handler-reachable function.
+//
+// The conformance analyzer (analyzer.go) then checks that the model
+// extracted from internal/core matches the transition system the
+// bounded explorer (internal/protomodel) implements — same states, same
+// edges, finalize and join transitions reachable from OnDeliver, the
+// piggyback attached and consumed. Editing the implementation out from
+// under the model (or vice versa) is a vet failure, not a silent drift.
+package protomodel
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"ocsml/internal/analysis/piggybackcomplete"
+	"ocsml/internal/analysis/statemachine"
+	"ocsml/internal/analysis/vetkit"
+)
+
+// A Transition is one declared edge of the implementation's state
+// machine; From is "*" for any-state.
+type Transition struct{ From, To string }
+
+// A StateWrite is one guarded write to the state field, reachable from
+// a handler.
+type StateWrite struct {
+	Fn       string // function containing the write
+	From     []string
+	To       string
+	Declared bool
+}
+
+// A HandlerModel summarizes what one protocol handler (and everything
+// it can statically reach) does to protocol state.
+type HandlerModel struct {
+	Name        string // Start, OnAppSend, OnDeliver, OnTimer, Finish, Rollback
+	StateWrites []StateWrite
+	// FieldWrites are the implementation-struct fields the handler may
+	// mutate (assignment, ++/--, or a method call on the field), sorted
+	// and de-duplicated. The state field itself is excluded — its
+	// writes appear in StateWrites with full guard information.
+	FieldWrites []string
+}
+
+// A Model is the extracted transition system of one protocol
+// implementation.
+type Model struct {
+	Impl        string          `json:"Impl"` // package-qualified type name, e.g. "core.Protocol"
+	Obj         *types.TypeName `json:"-"`    // the defining object (position, package)
+	StateField  string          // annotated status field, "" when the type has none
+	States      []string
+	Transitions []Transition
+	Handlers    []HandlerModel
+	// Piggyback facts (piggybackcomplete).
+	NoPiggyback   bool
+	Attaches      bool
+	ConsumesFirst bool
+}
+
+// handlerNames are the protocol entry points, in report order: the
+// protocol.Protocol interface plus the Rewinder rollback hook.
+var handlerNames = []string{"Start", "OnAppSend", "OnDeliver", "OnTimer", "Finish", "Rollback"}
+
+// Extract builds the model of every protocol.Protocol implementation
+// in the program, sorted by qualified type name.
+func Extract(program *vetkit.Program) []Model {
+	impls := piggybackcomplete.Facts(program)
+	if len(impls) == 0 {
+		return nil
+	}
+	tables := statemachine.Tables(program)
+	writes := statemachine.TransitionWrites(program)
+	cg := program.CallGraph()
+
+	var out []Model
+	for _, impl := range impls {
+		// The protocol.Protocol interface trivially implements itself;
+		// only concrete implementations have a transition system.
+		if _, ok := impl.Impl.Type().Underlying().(*types.Interface); ok {
+			continue
+		}
+		m := Model{
+			Impl:          qualName(impl.Impl),
+			Obj:           impl.Impl,
+			NoPiggyback:   impl.NoPiggyback,
+			Attaches:      impl.Attaches,
+			ConsumesFirst: impl.ConsumesFirst,
+		}
+		fields := structFields(impl.Impl)
+
+		// The implementation's state table: a declared table whose
+		// field exists on the struct with the table's type.
+		var tbl *statemachine.TableInfo
+		for i := range tables {
+			t := &tables[i]
+			if f, ok := fields[t.Field]; ok && types.Identical(f.Type(), t.Type.Type()) {
+				tbl = t
+				break
+			}
+		}
+		if tbl != nil {
+			m.StateField = tbl.Field
+			m.States = append([]string(nil), tbl.States...)
+			for _, e := range tbl.Edges {
+				m.Transitions = append(m.Transitions, Transition{e.From, e.To})
+			}
+		}
+
+		for _, hname := range handlerNames {
+			hfn := methodNamed(cg, impl.Impl, hname)
+			if hfn == nil {
+				continue
+			}
+			reach := reachable(cg, hfn)
+			h := HandlerModel{Name: hname}
+			if tbl != nil {
+				for _, w := range writes {
+					if w.Table.Type == tbl.Type && w.Table.Field == tbl.Field && reach[w.Fn] {
+						h.StateWrites = append(h.StateWrites, StateWrite{
+							Fn: w.Fn.Name(), From: w.From, To: w.To, Declared: w.Declared,
+						})
+					}
+				}
+			}
+			h.FieldWrites = fieldWrites(cg, reach, fields, m.StateField)
+			m.Handlers = append(m.Handlers, h)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Impl < out[j].Impl })
+	return out
+}
+
+// qualName renders pkgname.TypeName.
+func qualName(tn *types.TypeName) string {
+	if tn.Pkg() != nil {
+		return tn.Pkg().Name() + "." + tn.Name()
+	}
+	return tn.Name()
+}
+
+// structFields maps field name to var for the implementation struct.
+func structFields(tn *types.TypeName) map[string]*types.Var {
+	out := map[string]*types.Var{}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		out[f.Name()] = f
+	}
+	return out
+}
+
+// methodNamed finds the callgraph node of impl's method with the given
+// name (pointer or value receiver).
+func methodNamed(cg *vetkit.CallGraph, impl *types.TypeName, name string) *vetkit.FuncNode {
+	for _, n := range cg.Funcs() {
+		if n.Obj.Name() != name {
+			continue
+		}
+		sig, ok := n.Obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == impl {
+			return n
+		}
+	}
+	return nil
+}
+
+// reachable is the static call closure from fn (closure call sites
+// included), keyed by function object.
+func reachable(cg *vetkit.CallGraph, fn *vetkit.FuncNode) map[*types.Func]bool {
+	seen := map[*types.Func]bool{fn.Obj: true}
+	work := []*vetkit.FuncNode{fn}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		for _, site := range n.Calls {
+			if site.Callee == nil || seen[site.Callee.Obj] {
+				continue
+			}
+			seen[site.Callee.Obj] = true
+			if site.Callee.Decl != nil {
+				work = append(work, site.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// fieldWrites collects which implementation-struct fields the reachable
+// functions may mutate: assignments, inc/dec statements, and method
+// calls on the field (ProcSet.Add and friends mutate in place).
+func fieldWrites(cg *vetkit.CallGraph, reach map[*types.Func]bool, fields map[string]*types.Var, stateField string) []string {
+	found := map[string]bool{}
+	for _, n := range cg.Funcs() {
+		if !reach[n.Obj] || n.Decl.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		mark := func(expr ast.Expr) {
+			sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			v, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return
+			}
+			if f, ok := fields[v.Name()]; ok && f == v && v.Name() != stateField {
+				found[v.Name()] = true
+			}
+		}
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(x.X)
+			case *ast.CallExpr:
+				// p.field.Method(...) — in-place mutators like
+				// ProcSet.Add/Clear/UnionWith.
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					mark(sel.X)
+				}
+			}
+			return true
+		})
+	}
+	out := make([]string, 0, len(found))
+	for f := range found {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the named handler's model, nil when absent.
+func (m *Model) Handler(name string) *HandlerModel {
+	for i := range m.Handlers {
+		if m.Handlers[i].Name == name {
+			return &m.Handlers[i]
+		}
+	}
+	return nil
+}
+
+// HasTransition reports whether the handler can reach a declared write
+// from->to of the state field.
+func (h *HandlerModel) HasTransition(from, to string) bool {
+	for _, w := range h.StateWrites {
+		if w.To != to || !w.Declared {
+			continue
+		}
+		for _, f := range w.From {
+			if f == from {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package protomodel
+
+import (
+	"testing"
+
+	"ocsml/internal/analysis/vetkit"
+	model "ocsml/internal/protomodel"
+)
+
+// loadModels extracts the protocol models of the whole module, exactly
+// the way cmd/ocsmlvet does.
+func loadModels(t *testing.T) []Model {
+	t.Helper()
+	loader, modPath, err := vetkit.ModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand(modPath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if _, err := loader.LoadPackage(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Extract(vetkit.NewProgram(loader.Packages))
+}
+
+// TestExtractGolden pins the extracted transition system of every
+// in-tree protocol.Protocol implementation: the annotated state field,
+// state and declared-transition counts, and the piggyback facts. A new
+// implementation (or a semantic change to an existing one) must update
+// this table consciously.
+func TestExtractGolden(t *testing.T) {
+	models := loadModels(t)
+
+	want := map[string]struct {
+		field         string
+		states, edges int
+		noPiggyback   bool
+		attaches      bool
+		consumesFirst bool
+	}{
+		"core.Protocol":          {field: "stat", states: 2, edges: 3, attaches: true, consumesFirst: true},
+		"reliable.Protocol":      {attaches: true, consumesFirst: true},
+		"bcs.Protocol":           {attaches: true, consumesFirst: true},
+		"chandylamport.Protocol": {noPiggyback: true, consumesFirst: true},
+		"kootoueg.Protocol":      {noPiggyback: true, consumesFirst: true},
+		"nop.Protocol":           {noPiggyback: true, consumesFirst: true},
+		"staggered.Protocol":     {noPiggyback: true, consumesFirst: true},
+		"uncoord.Protocol":       {noPiggyback: true, consumesFirst: true},
+	}
+	if len(models) != len(want) {
+		var got []string
+		for _, m := range models {
+			got = append(got, m.Impl)
+		}
+		t.Fatalf("extracted %d models %v, want %d", len(models), got, len(want))
+	}
+	for _, m := range models {
+		w, ok := want[m.Impl]
+		if !ok {
+			t.Errorf("unexpected implementation %s", m.Impl)
+			continue
+		}
+		if m.StateField != w.field {
+			t.Errorf("%s: state field %q, want %q", m.Impl, m.StateField, w.field)
+		}
+		if len(m.States) != w.states || len(m.Transitions) != w.edges {
+			t.Errorf("%s: %d states / %d transitions, want %d / %d",
+				m.Impl, len(m.States), len(m.Transitions), w.states, w.edges)
+		}
+		if m.NoPiggyback != w.noPiggyback || m.Attaches != w.attaches || m.ConsumesFirst != w.consumesFirst {
+			t.Errorf("%s: piggyback facts nopb=%v att=%v cons=%v, want nopb=%v att=%v cons=%v",
+				m.Impl, m.NoPiggyback, m.Attaches, m.ConsumesFirst,
+				w.noPiggyback, w.attaches, w.consumesFirst)
+		}
+	}
+}
+
+// TestExtractCoreDetail checks the load-bearing structure of the core
+// model: the exact shape the executable model declares, the finalize
+// and join transitions on the deliver path, the rollback edge, and that
+// every reachable state write is declared in the //ocsml:state table.
+func TestExtractCoreDetail(t *testing.T) {
+	var core *Model
+	for _, m := range loadModels(t) {
+		if m.Impl == "core.Protocol" {
+			c := m
+			core = &c
+			break
+		}
+	}
+	if core == nil {
+		t.Fatal("core.Protocol not extracted")
+	}
+
+	wantStates, wantEdges := model.Shape()
+	if len(core.States) != len(wantStates) {
+		t.Fatalf("states %v, model shape %v", core.States, wantStates)
+	}
+	for i, s := range wantStates {
+		if core.States[i] != s {
+			t.Errorf("state %d = %q, want %q", i, core.States[i], s)
+		}
+	}
+	for i, e := range wantEdges {
+		if tr := core.Transitions[i]; tr.From != e[0] || tr.To != e[1] {
+			t.Errorf("transition %d = %v, want %v", i, tr, e)
+		}
+	}
+
+	od := core.Handler("OnDeliver")
+	if od == nil {
+		t.Fatal("no OnDeliver handler model")
+	}
+	if !od.HasTransition("Tentative", "Normal") {
+		t.Error("OnDeliver cannot finalize (Tentative->Normal)")
+	}
+	if !od.HasTransition("Normal", "Tentative") {
+		t.Error("OnDeliver cannot join an initiation (Normal->Tentative)")
+	}
+	rb := core.Handler("Rollback")
+	if rb == nil {
+		t.Fatal("no Rollback handler model")
+	}
+	if !rb.HasTransition("Normal", "Normal") || !rb.HasTransition("Tentative", "Normal") {
+		t.Error("Rollback cannot reach the *->Normal recovery write")
+	}
+	for _, h := range core.Handlers {
+		for _, w := range h.StateWrites {
+			if !w.Declared {
+				t.Errorf("%s reaches undeclared state write in %s: %v -> %s", h.Name, w.Fn, w.From, w.To)
+			}
+		}
+		switch h.Name {
+		case "OnDeliver", "OnTimer":
+			if len(h.StateWrites) == 0 {
+				t.Errorf("%s reaches no state writes; extraction lost the callgraph closure", h.Name)
+			}
+		}
+	}
+
+	// The deliver path must touch the selective log and the tentative
+	// set — the fields the replay and consistency proofs range over.
+	fields := map[string]bool{}
+	for _, f := range od.FieldWrites {
+		fields[f] = true
+	}
+	for _, f := range []string{"csn", "logSet", "tentSet"} {
+		if !fields[f] {
+			t.Errorf("OnDeliver field writes %v missing %q", od.FieldWrites, f)
+		}
+	}
+}

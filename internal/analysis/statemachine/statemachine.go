@@ -60,6 +60,95 @@ type table struct {
 	all   uint64           // mask of every declared state
 	trans map[int64]uint64 // to-value -> allowed-from mask
 	star  map[int64]bool   // to-values reachable from any state
+	decl  []DeclEdge       // declared edges in directive order
+	// insertEnd is the end of the table's last //ocsml:state directive —
+	// the anchor where the suggested fix appends a new edge stub.
+	insertEnd token.Pos
+}
+
+// ---- exported model facts ----
+//
+// The protomodel extractor (internal/analysis/protomodel) lifts the
+// protocol implementation into an explicit transition system; the
+// declared tables and the proven write facts below are its raw
+// material, shared with this analyzer so the two can never disagree.
+
+// A DeclEdge is one declared transition; From is "*" for any-state.
+type DeclEdge struct{ From, To string }
+
+// TableInfo is the exported view of one //ocsml:state table.
+type TableInfo struct {
+	Type   *types.TypeName
+	Field  string
+	States []string // every named constant of the state type, by value
+	Edges  []DeclEdge
+	// InsertPos anchors mechanical fixes: new edge stubs are inserted
+	// at the end of the table's last //ocsml:state directive.
+	InsertPos token.Pos
+}
+
+// A TransitionWrite is one write to an annotated state field, with the
+// forward analysis' guard-narrowed set of possible from-states.
+type TransitionWrite struct {
+	Table TableInfo
+	Fn    *types.Func // function whose body contains the write
+	Pos   token.Pos
+	From  []string // states the write may be entered from
+	To    string   // written constant; "" when not a named constant
+	// Declared reports that every (from, to) pair is a declared edge —
+	// exactly the condition this analyzer enforces.
+	Declared bool
+}
+
+// Tables returns the program's declared transition tables.
+func Tables(program *vetkit.Program) []TableInfo {
+	pf := facts(program)
+	out := make([]TableInfo, 0, len(pf.tables))
+	for _, t := range pf.tables {
+		out = append(out, t.info())
+	}
+	return out
+}
+
+// TransitionWrites re-runs the write analysis over every declared
+// function and returns each state-field write as a fact. Order is
+// deterministic (callgraph declaration order).
+func TransitionWrites(program *vetkit.Program) []TransitionWrite {
+	pf := facts(program)
+	if len(pf.tables) == 0 {
+		return nil
+	}
+	var out []TransitionWrite
+	for _, n := range program.CallGraph().Funcs() {
+		if n.Decl.Body == nil {
+			continue
+		}
+		fn := n
+		a := &analysis{info: n.Pkg.Info, pf: pf, node: n}
+		a.visit = func(w writeVisit) {
+			tw := TransitionWrite{
+				Table: w.t.info(), Fn: fn.Obj, Pos: w.pos,
+				From: w.t.maskNames(w.fromMask), To: w.toName,
+				Declared: w.named && w.illegal == 0,
+			}
+			out = append(out, tw)
+		}
+		a.checkBody(n.Decl.Body)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok {
+				a.checkBody(lit.Body)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (t *table) info() TableInfo {
+	return TableInfo{
+		Type: t.typ, Field: t.field, States: t.maskNames(t.all),
+		Edges: append([]DeclEdge(nil), t.decl...), InsertPos: t.insertEnd,
+	}
 }
 
 // A tableErr is a malformed directive, reported by the pass that owns
@@ -102,7 +191,20 @@ func run(pass *vetkit.Pass) error {
 			if node == nil {
 				continue
 			}
-			a := &analysis{pass: pass, pf: pf, node: node}
+			a := &analysis{info: pass.TypesInfo, pf: pf, node: node}
+			a.visit = func(w writeVisit) {
+				switch {
+				case !w.named:
+					pass.Reportf(w.pos, "write to state field %s.%s is not a named %s constant: every write must be a declared //ocsml:state transition", w.t.typ.Name(), w.t.field, w.t.typ.Name())
+				case w.illegal != 0:
+					pass.Report(vetkit.Diagnostic{
+						Pos: w.pos,
+						Message: fmt.Sprintf("transition %s->%s of state field %s.%s is not declared by //ocsml:state (guard the write or declare the edge)",
+							w.t.stateNames(w.illegal), w.toName, w.t.typ.Name(), w.t.field),
+						Fix: w.t.edgeStubFix(w.illegal, w.toName),
+					})
+				}
+			}
 			a.checkBody(fd.Body)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.FuncLit); ok {
@@ -156,7 +258,7 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 	}
 	type edge struct {
 		from, to string
-		pos      token.Pos
+		pos, end token.Pos
 	}
 	byField := map[string][]edge{}
 	var order []string
@@ -180,7 +282,7 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 		if _, seen := byField[fields[0]]; !seen {
 			order = append(order, fields[0])
 		}
-		byField[fields[0]] = append(byField[fields[0]], edge{from, to, dir.Pos})
+		byField[fields[0]] = append(byField[fields[0]], edge{from, to, dir.Pos, dir.End})
 	}
 	if len(byField) == 0 {
 		return
@@ -212,6 +314,7 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 		t := &table{typ: obj, field: field, names: names, all: all,
 			trans: map[int64]uint64{}, star: map[int64]bool{}}
 		for _, e := range byField[field] {
+			t.insertEnd = e.end
 			to, ok := byName[e.to]
 			if !ok {
 				pf.errs = append(pf.errs, tableErr{pkg.Types, e.pos, fmt.Sprintf("//ocsml:state names unknown %s constant %q", obj.Name(), e.to)})
@@ -219,6 +322,7 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 			}
 			if e.from == "*" {
 				t.star[to] = true
+				t.decl = append(t.decl, DeclEdge{"*", e.to})
 				continue
 			}
 			from, ok := byName[e.from]
@@ -227,6 +331,7 @@ func (pf *progFacts) parseTable(pkg *vetkit.Package, ts *ast.TypeSpec, doc *ast.
 				continue
 			}
 			t.trans[to] |= 1 << uint(from)
+			t.decl = append(t.decl, DeclEdge{e.from, e.to})
 		}
 		pf.tables = append(pf.tables, t)
 	}
@@ -338,10 +443,24 @@ func equalFact(a, b fact) bool {
 	return true
 }
 
+// A writeVisit describes one state-field write to the analysis' visit
+// callback: the diagnostic path (run) turns undeclared transitions into
+// findings; the fact path (TransitionWrites) records every write.
+type writeVisit struct {
+	t        *table
+	pos      token.Pos
+	fromMask uint64 // guard-narrowed possible from-states
+	to       int64
+	toName   string
+	named    bool   // RHS resolved to a named constant of the state type
+	illegal  uint64 // from-states whose edge to `to` is undeclared
+}
+
 type analysis struct {
-	pass *vetkit.Pass
-	pf   *progFacts
-	node *vetkit.FuncNode
+	info  *types.Info
+	pf    *progFacts
+	node  *vetkit.FuncNode
+	visit func(writeVisit)
 }
 
 func (a *analysis) checkBody(body *ast.BlockStmt) {
@@ -393,24 +512,9 @@ func (a *analysis) transfer(sites map[*ast.CallExpr]*vetkit.CallSite, b *vetkit.
 
 // assign checks every state-field write in one assignment.
 func (a *analysis) assign(as *ast.AssignStmt, f fact, report bool) {
-	info := a.pass.TypesInfo
 	for i, lhs := range as.Lhs {
-		t, base := a.pf.stateSelector(info, lhs)
+		t, base := a.pf.stateSelector(a.info, lhs)
 		if t == nil {
-			continue
-		}
-		var rhs ast.Expr
-		if len(as.Rhs) == len(as.Lhs) {
-			rhs = as.Rhs[i]
-		}
-		to, toName, ok := a.constValue(t, rhs)
-		if !ok {
-			if report {
-				a.pass.Reportf(lhs.Pos(), "write to state field %s.%s is not a named %s constant: every write must be a declared //ocsml:state transition", t.typ.Name(), t.field, t.typ.Name())
-			}
-			if base != nil {
-				delete(f, base) // unknown value: Top
-			}
 			continue
 		}
 		cur := t.all
@@ -419,10 +523,27 @@ func (a *analysis) assign(as *ast.AssignStmt, f fact, report bool) {
 				cur = m
 			}
 		}
-		if !t.star[to] {
-			if illegal := cur &^ t.trans[to]; illegal != 0 && report {
-				a.pass.Reportf(lhs.Pos(), "transition %s->%s of state field %s.%s is not declared by //ocsml:state (guard the write or declare the edge)", t.stateNames(illegal), toName, t.typ.Name(), t.field)
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		to, toName, ok := a.constValue(t, rhs)
+		if !ok {
+			if report {
+				a.visit(writeVisit{t: t, pos: lhs.Pos(), fromMask: cur})
 			}
+			if base != nil {
+				delete(f, base) // unknown value: Top
+			}
+			continue
+		}
+		var illegal uint64
+		if !t.star[to] {
+			illegal = cur &^ t.trans[to]
+		}
+		if report {
+			a.visit(writeVisit{t: t, pos: lhs.Pos(), fromMask: cur,
+				to: to, toName: toName, named: true, illegal: illegal})
 		}
 		if base != nil {
 			f[base] = 1 << uint(to)
@@ -435,7 +556,7 @@ func (a *analysis) constValue(t *table, rhs ast.Expr) (int64, string, bool) {
 	if rhs == nil {
 		return 0, "", false
 	}
-	tv, ok := a.pass.TypesInfo.Types[rhs]
+	tv, ok := a.info.Types[rhs]
 	if !ok || tv.Value == nil {
 		return 0, "", false
 	}
@@ -484,7 +605,7 @@ func (a *analysis) narrow(cond ast.Expr, truth bool, f fact) {
 // comparison matches `x.field == Const` with the operands in either
 // order.
 func (a *analysis) comparison(e *ast.BinaryExpr) (*table, *types.Var, int64, bool) {
-	info := a.pass.TypesInfo
+	info := a.info
 	try := func(selSide, constSide ast.Expr) (*table, *types.Var, int64, bool) {
 		t, base := a.pf.stateSelector(info, selSide)
 		if t == nil {
@@ -502,8 +623,8 @@ func (a *analysis) comparison(e *ast.BinaryExpr) (*table, *types.Var, int64, boo
 	return try(e.Y, e.X)
 }
 
-// stateNames renders a mask of states for diagnostics.
-func (t *table) stateNames(mask uint64) string {
+// maskNames renders a mask of states as a sorted-by-value name list.
+func (t *table) maskNames(mask uint64) []string {
 	var vals []int64
 	for v := range t.names {
 		if mask&(1<<uint(v)) != 0 {
@@ -515,10 +636,37 @@ func (t *table) stateNames(mask uint64) string {
 	for _, v := range vals {
 		names = append(names, t.names[v])
 	}
+	return names
+}
+
+// stateNames renders a mask of states for diagnostics.
+func (t *table) stateNames(mask uint64) string {
+	names := t.maskNames(mask)
 	if len(names) == 0 {
 		return "?"
 	}
 	return strings.Join(names, "|")
+}
+
+// edgeStubFix builds the suggested fix for an undeclared transition: a
+// //ocsml:state stub per still-possible from-state, appended after the
+// table's last declared edge. The stub declares intent explicitly — the
+// developer reviews and keeps (or deletes) each edge.
+func (t *table) edgeStubFix(illegal uint64, toName string) *vetkit.SuggestedFix {
+	if !t.insertEnd.IsValid() {
+		return nil
+	}
+	var text strings.Builder
+	for _, from := range t.maskNames(illegal) {
+		fmt.Fprintf(&text, "\n//ocsml:state %s %s->%s", t.field, from, toName)
+	}
+	if text.Len() == 0 {
+		return nil
+	}
+	return &vetkit.SuggestedFix{
+		Message: fmt.Sprintf("declare the %s->%s edge(s) on the %s table", t.stateNames(illegal), toName, t.typ.Name()),
+		Edits:   []vetkit.TextEdit{{Pos: t.insertEnd, End: t.insertEnd, NewText: text.String()}},
+	}
 }
 
 // inspectSkipLits visits every call expression under n outside nested

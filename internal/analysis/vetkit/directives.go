@@ -119,5 +119,5 @@ func parseDirective(c *ast.Comment) (Directive, bool) {
 	}
 	body := strings.TrimPrefix(text, directivePrefix)
 	name, arg, _ := strings.Cut(body, " ")
-	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Pos()}, true
+	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Pos(), End: c.End()}, true
 }

@@ -1,0 +1,106 @@
+package vetkit
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// This file applies SuggestedFixes to source files: the engine behind
+// `ocsmlvet -fix`. Only the mechanical diagnostics carry fixes (a
+// missing //ocsml:state table stub, a missing //ocsml:loopcontext
+// assertion), so application is conservative: edits are grouped by
+// file, sorted, checked for overlap, and applied bottom-up so earlier
+// offsets stay valid.
+
+// A FileFix is the set of edits to apply to one file, with the
+// diagnostics they came from (for reporting).
+type FileFix struct {
+	Filename string
+	Edits    []TextEdit
+	Applied  []Diagnostic
+}
+
+// PlanFixes collects the suggested fixes of the given diagnostics into
+// per-file edit plans. Overlapping edits within one file are rejected
+// with an error naming the colliding diagnostics; duplicate edits
+// (identical range and text, e.g. the same fix reported through two
+// packages) collapse to one.
+func PlanFixes(fset *token.FileSet, diags []Diagnostic) ([]FileFix, error) {
+	type edit struct {
+		TextEdit
+		from Diagnostic
+	}
+	byFile := map[string][]edit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			name := fset.Position(e.Pos).Filename
+			byFile[name] = append(byFile[name], edit{e, d})
+		}
+	}
+	var files []string
+	for name := range byFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	var out []FileFix
+	for _, name := range files {
+		edits := byFile[name]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Pos != edits[j].Pos {
+				return edits[i].Pos < edits[j].Pos
+			}
+			return edits[i].NewText < edits[j].NewText
+		})
+		ff := FileFix{Filename: name}
+		var last *edit
+		for i := range edits {
+			e := &edits[i]
+			if last != nil && e.Pos == last.Pos && e.End == last.End && e.NewText == last.NewText {
+				continue // identical duplicate
+			}
+			if last != nil && e.Pos < last.End {
+				return nil, fmt.Errorf("conflicting fixes in %s: %q (from %s) overlaps %q (from %s)",
+					name, e.NewText, e.from.Analyzer, last.NewText, last.from.Analyzer)
+			}
+			ff.Edits = append(ff.Edits, e.TextEdit)
+			ff.Applied = append(ff.Applied, e.from)
+			last = e
+		}
+		out = append(out, ff)
+	}
+	return out, nil
+}
+
+// ApplyFix applies one file's edits to its current on-disk content and
+// returns the new content. The file is not written; callers decide.
+func ApplyFix(fset *token.FileSet, ff FileFix) ([]byte, error) {
+	src, err := os.ReadFile(ff.Filename)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyEditsToBytes(fset, src, ff.Edits)
+}
+
+// ApplyEditsToBytes applies sorted, non-overlapping edits to src.
+func ApplyEditsToBytes(fset *token.FileSet, src []byte, edits []TextEdit) ([]byte, error) {
+	// Apply bottom-up so earlier offsets stay valid.
+	out := append([]byte(nil), src...)
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		start := fset.Position(e.Pos).Offset
+		end := start
+		if e.End.IsValid() {
+			end = fset.Position(e.End).Offset
+		}
+		if start < 0 || end < start || end > len(out) {
+			return nil, fmt.Errorf("edit range [%d, %d) outside file of %d bytes", start, end, len(out))
+		}
+		out = append(out[:start], append([]byte(e.NewText), out[end:]...)...)
+	}
+	return out, nil
+}

@@ -63,16 +63,59 @@ type Pass struct {
 	report func(Diagnostic)
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records an error-severity diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully specified diagnostic (severity, range, fix).
+func (p *Pass) Report(d Diagnostic) {
+	p.report(d)
+}
+
+// Severity classifies a diagnostic. Errors fail the build; warnings
+// surface in reports (and code scanning) without failing it.
+type Severity uint8
+
+const (
+	// SevError is the default: the finding blocks the build.
+	SevError Severity = iota
+	// SevWarning is advisory: reported, uploaded to code scanning, but
+	// not a build failure.
+	SevWarning
+)
+
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// A TextEdit is one replacement of the source range [Pos, End) with
+// NewText. Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is a mechanical repair for a diagnostic, applied by
+// `ocsmlvet -fix`. Only diagnostics whose repair is purely syntactic
+// (a directive stub, an annotation) carry one.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // A Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Pos
+	End      token.Pos // optional: end of the flagged range (NoPos = point)
 	Message  string
-	Analyzer string // filled by Run
+	Analyzer string   // filled by Run
+	Severity Severity // zero value SevError
+	Fix      *SuggestedFix
 }
 
 // A Package is one source-loaded, type-checked package.
@@ -126,11 +169,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package, program *Program) ([]Diagnostic
 }
 
 // dedupe drops diagnostics identical to their predecessor in a sorted
-// slice.
+// slice. Identity is (position, analyzer, message): interprocedural
+// analyzers report the same finding once per pass, each carrying its
+// own (equivalent) fix, so the Fix pointer is deliberately excluded.
 func dedupe(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for i, d := range diags {
-		if i > 0 && d == diags[i-1] {
+		if i > 0 && d.Pos == diags[i-1].Pos && d.Analyzer == diags[i-1].Analyzer &&
+			d.Message == diags[i-1].Message {
 			continue
 		}
 		out = append(out, d)
@@ -150,6 +196,7 @@ type Directive struct {
 	Arg  string    // remainder of the line, trimmed (reason or argument)
 	Line int       // line the comment sits on (filled by FileDirectives)
 	Pos  token.Pos // position of the comment
+	End  token.Pos // end of the comment (suggested-fix insertion anchor)
 }
 
 // FileDirectives extracts every //ocsml: directive in the file, keyed by

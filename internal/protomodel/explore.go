@@ -1,0 +1,224 @@
+package protomodel
+
+import (
+	"fmt"
+
+	"ocsml/internal/trace"
+)
+
+// defaultMaxStates caps the visited set when Config.MaxStates is 0.
+const defaultMaxStates = 1 << 22
+
+// A Counterexample is one minimized violating run: the BFS path to the
+// violation plus a crash-free completion that finalizes the violated
+// cut on every process, so the emitted trace is checkable end-to-end by
+// cmd/tracecheck.
+type Counterexample struct {
+	Violation Violation
+	Actions   []Action // full run: violating prefix + cut completion
+	Prefix    int      // length of the violating prefix within Actions
+	Events    []trace.Event
+	// CutComplete reports that every process finalized the violated
+	// cut within bounds (tracecheck then exhibits the orphan/replay
+	// breach directly; an incomplete cut still replays but reports
+	// "incomplete").
+	CutComplete bool
+	// ZCycle holds the rollback-dependency cycle the violation induces
+	// in the trace, when one exists (P3 witness).
+	ZCycle []trace.Interval
+}
+
+// A Result summarizes one bounded exploration.
+type Result struct {
+	Config Config
+	States int  // distinct states visited
+	Hit    bool // state cap reached (exploration truncated)
+	Cex    *Counterexample
+	MaxCut int // highest cut finalized by every process in some run
+}
+
+// Explore exhaustively enumerates every interleaving of the model
+// within the configured bounds (breadth-first, so a reported
+// counterexample has a minimal violating prefix) and returns the first
+// violation found, if any.
+func Explore(cfg Config) (*Result, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("protomodel: need at least 2 processes, have %d", cfg.N)
+	}
+	if cfg.N > 6 {
+		return nil, fmt.Errorf("protomodel: %d processes is beyond the tractable bound (max 6)", cfg.N)
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+
+	type node struct {
+		st     *state
+		parent *node
+		act    Action
+	}
+	res := &Result{Config: cfg}
+	root := &node{st: newState(&cfg)}
+	visited := map[string]bool{root.st.key(): true}
+	frontier := []*node{root}
+	res.States = 1
+
+	pathTo := func(n *node) []Action {
+		var rev []Action
+		for ; n.parent != nil; n = n.parent {
+			rev = append(rev, n.act)
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if mf := cur.st.minFin(); mf > res.MaxCut {
+			res.MaxCut = mf
+		}
+		for _, a := range cur.st.enabled(true) {
+			next := cur.st.clone()
+			vs := next.apply(a, nil)
+			child := &node{st: next, parent: cur, act: a}
+			if len(vs) > 0 {
+				prefix := pathTo(child)
+				cex := buildCounterexample(cfg, prefix, vs[0])
+				res.Cex = cex
+				return res, nil
+			}
+			k := next.key()
+			if visited[k] {
+				continue
+			}
+			if res.States >= maxStates {
+				res.Hit = true
+				continue
+			}
+			visited[k] = true
+			res.States++
+			frontier = append(frontier, child)
+		}
+	}
+	return res, nil
+}
+
+// buildCounterexample extends the violating prefix with a crash-free
+// completion of the violated cut, then replays the whole run through
+// the semantics with event emission.
+func buildCounterexample(cfg Config, prefix []Action, v Violation) *Counterexample {
+	cex := &Counterexample{Violation: v, Actions: prefix, Prefix: len(prefix)}
+
+	// Re-derive the post-prefix state (violations already known).
+	st := newState(&cfg)
+	for _, a := range prefix {
+		st.apply(a, nil)
+	}
+	if tail, ok := completeCut(st, v.Seq); ok {
+		cex.Actions = append(append([]Action(nil), prefix...), tail...)
+		cex.CutComplete = true
+	}
+
+	// Replay with emission. The replay run gets an unlimited send
+	// budget: the completion tail may use helper traffic beyond
+	// cfg.MaxMsgs to spread finalization knowledge.
+	replayCfg := cfg
+	replayCfg.MaxMsgs = len(cex.Actions) + cfg.MaxMsgs
+	em := &emitter{}
+	rst := newState(&replayCfg)
+	for _, a := range cex.Actions {
+		rst.apply(a, em)
+	}
+	cex.Events = em.events
+	cex.ZCycle = trace.ZCycles(em.events, trace.KFinalize)
+	return cex
+}
+
+// completeCut searches (BFS, crash-free, send budget relaxed) for the
+// shortest continuation after which every process has finalized cut
+// seq, so the counterexample trace contains a complete S_seq cut.
+func completeCut(start *state, seq int) ([]Action, bool) {
+	if start.minFin() >= seq {
+		return nil, true
+	}
+	// Helper traffic may exceed the exploration send budget: knowledge
+	// of the initiation spreads only by message.
+	const budgetSlack = 8
+	const maxStates = 1 << 18
+	st := start.clone()
+	st.msgs += budgetSlack
+
+	type node struct {
+		st     *state
+		parent *node
+		act    Action
+	}
+	root := &node{st: st}
+	visited := map[string]bool{st.key(): true}
+	frontier := []*node{root}
+	states := 1
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, a := range cur.st.enabled(false) {
+			next := cur.st.clone()
+			// Ignore violations on the completion tail: a mutated run
+			// may trip the same property again; the prefix already
+			// carries the reported breach.
+			next.apply(a, nil)
+			child := &node{st: next, parent: cur, act: a}
+			if next.minFin() >= seq {
+				var rev []Action
+				for n := child; n.parent != nil; n = n.parent {
+					rev = append(rev, n.act)
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, true
+			}
+			k := next.key()
+			if visited[k] || states >= maxStates {
+				continue
+			}
+			visited[k] = true
+			states++
+			frontier = append(frontier, child)
+		}
+	}
+	return nil, false
+}
+
+// Sweep runs Explore over N = 2..maxN with the given per-N budgets and
+// returns the first counterexample found across the sweep (nil result
+// field when the protocol verifies clean).
+func Sweep(maxN int, cfg Config) (*Result, error) {
+	var last *Result
+	for n := 2; n <= maxN; n++ {
+		c := cfg
+		c.N = n
+		res, err := Explore(c)
+		if err != nil {
+			return nil, err
+		}
+		if last == nil {
+			last = res
+		} else {
+			last.States += res.States
+			last.Hit = last.Hit || res.Hit
+			if res.MaxCut > last.MaxCut {
+				last.MaxCut = res.MaxCut
+			}
+		}
+		if res.Cex != nil {
+			last.Cex = res.Cex
+			last.Config = c
+			return last, nil
+		}
+	}
+	return last, nil
+}

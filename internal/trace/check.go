@@ -1,0 +1,227 @@
+package trace
+
+import "fmt"
+
+// This file holds the two offline trace analyses behind the paper's
+// remaining safety claims, shared by cmd/tracecheck and the protomodel
+// explorer:
+//
+//   - replay sufficiency: every message processed inside a tentative
+//     interval appears in the selective log (KLogRecv/KLogSend events),
+//     so replaying the log reproduces the interval exactly once;
+//   - Z-cycle freedom: the rollback-dependency graph over checkpoint
+//     intervals (Netzer–Xu / Wang) is acyclic, so no finalized
+//     checkpoint is useless.
+
+// A ReplayGap is one message that the selective log fails to cover.
+type ReplayGap struct {
+	Proc  int   // process whose log is incomplete
+	Seq   int   // checkpoint sequence of the tentative interval
+	MsgID int64 // processed (or sent) message missing from the log
+	Sent  bool  // true: missing send-log entry; false: missing receive-log entry
+}
+
+func (g ReplayGap) String() string {
+	dir := "received"
+	if g.Sent {
+		dir = "sent"
+	}
+	return fmt.Sprintf("P%d %s msg %d inside tentative interval %d but never logged it",
+		g.Proc, dir, g.MsgID, g.Seq)
+}
+
+// CheckReplay verifies selective-logging sufficiency over a trace: for
+// every process, every application message sent or received between a
+// KTentative(seq) event and the matching KFinalize(seq) event must have
+// a matching KLogSend/KLogRecv event in the same interval. Messages
+// processed outside tentative intervals need no logging (the paper logs
+// only while tentative), and a rolled-back interval (KRestore before
+// the finalize) is exempt — its log died with the crash.
+func CheckReplay(events []Event) []ReplayGap {
+	// Per process, walk events in order tracking the open tentative
+	// interval and the pending (unlogged) messages inside it.
+	type open struct {
+		seq     int
+		pending []ReplayGap // becomes real gaps if the interval finalizes
+		logged  map[int64]uint8
+	}
+	const (
+		loggedSend = 1 << iota
+		loggedRecv
+	)
+	var gaps []ReplayGap
+	cur := map[int]*open{}
+	for _, e := range events {
+		switch e.Kind {
+		case KTentative:
+			cur[e.Proc] = &open{seq: e.Seq, logged: map[int64]uint8{}}
+		case KLogSend:
+			if o := cur[e.Proc]; o != nil {
+				o.logged[e.MsgID] |= loggedSend
+			}
+		case KLogRecv:
+			if o := cur[e.Proc]; o != nil {
+				o.logged[e.MsgID] |= loggedRecv
+			}
+		case KSend:
+			if o := cur[e.Proc]; o != nil {
+				o.pending = append(o.pending, ReplayGap{Proc: e.Proc, Seq: o.seq, MsgID: e.MsgID, Sent: true})
+			}
+		case KRecv:
+			if o := cur[e.Proc]; o != nil {
+				o.pending = append(o.pending, ReplayGap{Proc: e.Proc, Seq: o.seq, MsgID: e.MsgID, Sent: false})
+			}
+		case KFinalize:
+			o := cur[e.Proc]
+			if o == nil || o.seq != e.Seq {
+				continue
+			}
+			for _, p := range o.pending {
+				want := uint8(loggedRecv)
+				if p.Sent {
+					want = loggedSend
+				}
+				if o.logged[p.MsgID]&want == 0 {
+					gaps = append(gaps, p)
+				}
+			}
+			delete(cur, e.Proc)
+		case KRestore:
+			delete(cur, e.Proc) // rolled back: the interval never finalized
+		}
+	}
+	return gaps
+}
+
+// An Interval identifies one checkpoint interval of a process: Index 0
+// runs from process start to its first cut event, index x from cut x to
+// cut x+1.
+type Interval struct {
+	Proc  int
+	Index int
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("I(P%d,%d)", iv.Proc, iv.Index) }
+
+// ZCycles detects Z-cycles through the trace's checkpoints using the
+// rollback-dependency graph: one node per checkpoint interval, a
+// program-order edge between a process's consecutive intervals, and an
+// edge from the sender's interval to the receiver's interval for every
+// application message. A cycle means rolling back some checkpoint
+// forces a rollback past itself — the checkpoint is useless (Netzer–Xu
+// Z-cycle). The paper's Theorem 2 implies the graph is acyclic for
+// OCSML traces; an orphan message introduces the back edge that closes
+// a cycle. Returns the first cycle found as an interval sequence, nil
+// when acyclic.
+func ZCycles(events []Event, cutKind Kind) []Interval {
+	// Interval index of event g for proc p = number of p's cut events
+	// with smaller GSeq.
+	cuts := map[int][]int64{}
+	for _, e := range events {
+		if e.Kind == cutKind || (cutKind == KCheckpoint && e.Kind == KForced) {
+			cuts[e.Proc] = append(cuts[e.Proc], e.GSeq)
+		}
+	}
+	index := func(proc int, g int64) int {
+		n := 0
+		for _, cg := range cuts[proc] {
+			if cg < g {
+				n++
+			}
+		}
+		return n
+	}
+
+	edges := map[Interval]map[Interval]bool{}
+	addEdge := func(a, b Interval) {
+		if a == b {
+			return
+		}
+		if edges[a] == nil {
+			edges[a] = map[Interval]bool{}
+		}
+		edges[a][b] = true
+	}
+	for proc, cs := range cuts {
+		for x := 0; x < len(cs); x++ {
+			addEdge(Interval{proc, x}, Interval{proc, x + 1})
+		}
+	}
+	// Message edges need both endpoints; pair sends with receives.
+	sends := map[int64]Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case KSend:
+			sends[e.MsgID] = e
+		case KRecv:
+			s, ok := sends[e.MsgID]
+			if !ok {
+				continue
+			}
+			addEdge(Interval{s.Proc, index(s.Proc, s.GSeq)},
+				Interval{e.Proc, index(e.Proc, e.GSeq)})
+		}
+	}
+
+	// DFS cycle detection with deterministic order (sorted nodes).
+	var nodes []Interval
+	for a := range edges {
+		nodes = append(nodes, a)
+	}
+	sortIntervals(nodes)
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := map[Interval]int{}
+	var stack []Interval
+	var cycle []Interval
+	var visit func(a Interval) bool
+	visit = func(a Interval) bool {
+		color[a] = gray
+		stack = append(stack, a)
+		var succs []Interval
+		for b := range edges[a] {
+			succs = append(succs, b)
+		}
+		sortIntervals(succs)
+		for _, b := range succs {
+			switch color[b] {
+			case gray:
+				// Found: slice the stack from b's occurrence.
+				for i, s := range stack {
+					if s == b {
+						cycle = append(append([]Interval(nil), stack[i:]...), b)
+						return true
+					}
+				}
+			case white:
+				if visit(b) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[a] = black
+		return false
+	}
+	for _, a := range nodes {
+		if color[a] == white && visit(a) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+func sortIntervals(ivs []Interval) {
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ivs[j-1], ivs[j]
+			if a.Proc < b.Proc || (a.Proc == b.Proc && a.Index <= b.Index) {
+				break
+			}
+			ivs[j-1], ivs[j] = b, a
+		}
+	}
+}

@@ -42,12 +42,19 @@ const (
 	KFail
 	// KRestore marks a process restoring from a checkpoint.
 	KRestore
+	// KLogSend marks appending a sent message to the selective log
+	// (logSet, paper Fig. 3) — emitted by the model checker so replay
+	// sufficiency is checkable offline.
+	KLogSend
+	// KLogRecv marks appending a received message to the selective log.
+	KLogRecv
 )
 
 var kindNames = [...]string{
 	KSend: "send", KRecv: "recv", KCtlSend: "ctl-send", KCtlRecv: "ctl-recv",
 	KTentative: "tentative", KFinalize: "finalize", KCheckpoint: "checkpoint",
 	KForced: "forced", KFail: "fail", KRestore: "restore",
+	KLogSend: "log-send", KLogRecv: "log-recv",
 }
 
 func (k Kind) String() string {
